@@ -1,0 +1,56 @@
+// Papers: deduplicate a bibliography with heavily skewed duplicate counts
+// (the paper's Cora scenario — one publication is cited by up to 192
+// records). Demonstrates entity clustering via transitive closure and the
+// big-clique handling of CliqueRank's weight-boosting refinement.
+//
+// Run with:
+//
+//	go run ./examples/papers
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	ds := er.PaperReplica(er.ReplicaConfig{Seed: 5, Scale: 0.4})
+	fmt.Printf("bibliography: %d records, %d true matching pairs\n",
+		ds.NumRecords(), ds.NumTrueMatches())
+
+	res, err := er.Resolve(ds, er.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("resolved %d matching pairs in %s\n\n", len(res.Matches), res.Elapsed.Round(1e6))
+
+	fmt.Println("largest resolved publication clusters:")
+	for i, c := range res.Clusters {
+		if i == 5 || len(c) < 2 {
+			break
+		}
+		fmt.Printf("  cluster %d: %d citation records, e.g.\n", i+1, len(c))
+		for k := 0; k < 2 && k < len(c); k++ {
+			fmt.Printf("    %s\n", ds.Text(c[k]))
+		}
+	}
+
+	if res.Evaluation != nil {
+		fmt.Printf("\nagainst ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
+			res.Evaluation.Precision, res.Evaluation.Recall, res.Evaluation.F1)
+	}
+
+	// The same dataset with a single fusion round, to show the value of the
+	// ITER ⇄ CliqueRank reinforcement (Table V).
+	one := er.DefaultOptions()
+	one.FusionIterations = 1
+	res1, err := er.Resolve(ds, one)
+	if err != nil {
+		panic(err)
+	}
+	if res1.Evaluation != nil && res.Evaluation != nil {
+		fmt.Printf("reinforcement effect: F1 %.3f after 1 round -> %.3f after 5 rounds\n",
+			res1.Evaluation.F1, res.Evaluation.F1)
+	}
+}

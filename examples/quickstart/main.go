@@ -1,0 +1,47 @@
+// Quickstart: resolve a small in-memory product catalog with the
+// unsupervised fusion framework and print the discovered entities.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	records := []er.Record{
+		{Text: "sony turntable pslx350h belt drive audio system"},
+		{Text: "sony pslx350h turntable with dust cover audio"},
+		{Text: "pioneer receiver vsx321 surround stereo channel"},
+		{Text: "pioneer vsx321 av receiver stereo black"},
+		{Text: "canon powershot a590 digital camera 8mp"},
+		{Text: "canon powershot a590 is camera silver 8mp zoom"},
+		{Text: "panasonic microwave nn1054 stainless countertop"},
+	}
+	ds := er.NewDataset("catalog", records)
+
+	res, err := er.Resolve(ds, er.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Matched pairs (p >= 0.98):")
+	for _, m := range res.Matches {
+		fmt.Printf("  p=%.3f  %q == %q\n", m.Probability, ds.Text(m.I), ds.Text(m.J))
+	}
+
+	fmt.Println("\nResolved entities:")
+	for i, c := range res.Clusters {
+		if len(c) < 2 {
+			continue
+		}
+		fmt.Printf("  entity %d:\n", i+1)
+		for _, r := range c {
+			fmt.Printf("    %s\n", ds.Text(r))
+		}
+	}
+}

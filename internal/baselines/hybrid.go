@@ -1,0 +1,36 @@
+package baselines
+
+// Hybrid linearly combines topological (SimRank) and textual (TW-IDF) pair
+// scores per Eq. 5: s_h = β·s_b + (1-β)·s_u. The two score families live on
+// very different scales (SimRank in [0,1], TW-IDF unbounded), so each side
+// is max-normalized before combining — without this, β would be meaningless
+// and one side would always dominate the sweep.
+func Hybrid(simrank, twidf []float64, beta float64) []float64 {
+	if len(simrank) != len(twidf) {
+		panic("baselines: Hybrid requires aligned score slices")
+	}
+	out := make([]float64, len(simrank))
+	sb := maxNormalize(simrank)
+	su := maxNormalize(twidf)
+	for i := range out {
+		out[i] = beta*sb[i] + (1-beta)*su[i]
+	}
+	return out
+}
+
+func maxNormalize(x []float64) []float64 {
+	var max float64
+	for _, v := range x {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(x))
+	if max == 0 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = v / max
+	}
+	return out
+}

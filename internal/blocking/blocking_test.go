@@ -1,0 +1,232 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func corpus(texts ...string) *textproc.Corpus {
+	return textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
+}
+
+func TestBuildSingleSource(t *testing.T) {
+	c := corpus(
+		"sony turntable pslx350h", // 0
+		"sony turntable",          // 1
+		"pioneer receiver",        // 2
+		"pioneer amp",             // 3
+	)
+	g := Build(c, nil, Options{})
+	// candidates: (0,1) share sony+turntable, (2,3) share pioneer
+	if g.NumPairs() != 2 {
+		t.Fatalf("NumPairs = %d, want 2", g.NumPairs())
+	}
+	if _, ok := g.PairID(0, 1); !ok {
+		t.Error("pair (0,1) missing")
+	}
+	if _, ok := g.PairID(0, 2); ok {
+		t.Error("pair (0,2) must not be a candidate (no shared term)")
+	}
+	sony := c.Index["sony"]
+	if g.Pt(sony) != 1 {
+		t.Errorf("Pt(sony) = %d, want 1", g.Pt(sony))
+	}
+	// bipartite edges: sony->1, turntable->1, pioneer->1 => 3
+	if g.BipartiteEdges() != 3 {
+		t.Errorf("BipartiteEdges = %d, want 3", g.BipartiteEdges())
+	}
+}
+
+func TestBuildCrossSourceOnly(t *testing.T) {
+	c := corpus(
+		"sony tv x100", // 0 source 0
+		"sony tv x200", // 1 source 0
+		"sony tv x100", // 2 source 1
+	)
+	src := []int{0, 0, 1}
+	g := Build(c, src, Options{CrossSourceOnly: true})
+	if _, ok := g.PairID(0, 1); ok {
+		t.Error("same-source pair (0,1) must be excluded")
+	}
+	if _, ok := g.PairID(0, 2); !ok {
+		t.Error("cross-source pair (0,2) missing")
+	}
+	if _, ok := g.PairID(1, 2); !ok {
+		t.Error("cross-source pair (1,2) missing")
+	}
+	if g.NumPairs() != 2 {
+		t.Errorf("NumPairs = %d, want 2", g.NumPairs())
+	}
+	x100 := c.Index["x100"]
+	if g.Pt(x100) != 1 {
+		t.Errorf("Pt(x100) = %d, want 1", g.Pt(x100))
+	}
+}
+
+func TestBuildMaxTermRecordsCap(t *testing.T) {
+	// "common" is in all four records; with a cap of 3 it generates no pairs.
+	c := corpus(
+		"common aa",
+		"common aa",
+		"common bb",
+		"common bb",
+	)
+	g := Build(c, nil, Options{MaxTermRecords: 3})
+	// only aa (0,1) and bb (2,3) survive
+	if g.NumPairs() != 2 {
+		t.Fatalf("NumPairs = %d, want 2", g.NumPairs())
+	}
+	common := c.Index["common"]
+	if g.Pt(common) != 0 {
+		t.Errorf("capped term still has Pt = %d", g.Pt(common))
+	}
+}
+
+func TestPairIDOrderInsensitive(t *testing.T) {
+	c := corpus("aa bb", "aa cc")
+	g := Build(c, nil, Options{})
+	a, ok1 := g.PairID(0, 1)
+	b, ok2 := g.PairID(1, 0)
+	if !ok1 || !ok2 || a != b {
+		t.Error("PairID must be order-insensitive")
+	}
+}
+
+func TestKeyPacksDistinctly(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int32(0); i < 50; i++ {
+		for j := i + 1; j < 50; j++ {
+			k := Key(i, j)
+			if seen[k] {
+				t.Fatalf("duplicate key for (%d,%d)", i, j)
+			}
+			seen[k] = true
+			if k != Key(j, i) {
+				t.Fatalf("Key not symmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPairsConsistentWithTermPairs(t *testing.T) {
+	c := corpus(
+		"aa bb cc",
+		"aa bb dd",
+		"cc dd ee",
+		"ee ff",
+	)
+	g := Build(c, nil, Options{})
+	// Every pair node referenced by a term must share that term.
+	for term, pairIDs := range g.TermPairs {
+		for _, pid := range pairIDs {
+			p := g.Pairs[pid]
+			shared := textproc.IntersectSorted(c.Docs[p.I], c.Docs[p.J])
+			found := false
+			for _, s := range shared {
+				if int(s) == term {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("term %q linked to pair (%d,%d) that does not share it", c.Terms[term], p.I, p.J)
+			}
+		}
+	}
+	// Every candidate pair must actually share >=1 term and each shared
+	// term must list it exactly once.
+	for pid, p := range g.Pairs {
+		shared := textproc.IntersectSorted(c.Docs[p.I], c.Docs[p.J])
+		if len(shared) == 0 {
+			t.Fatalf("pair %d shares no terms", pid)
+		}
+		for _, s := range shared {
+			count := 0
+			for _, q := range g.TermPairs[s] {
+				if q == int32(pid) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("term %q lists pair %d %d times", c.Terms[s], pid, count)
+			}
+		}
+	}
+}
+
+func TestSortedNeighborhoodWindow(t *testing.T) {
+	c := corpus("aa x1", "aa x2", "bb y1", "bb y2", "cc z1")
+	// Key by the record's first term: sorted groups aa,aa,bb,bb,cc.
+	keyOf := func(r int) string { return c.Terms[c.Docs[r][0]] }
+	pairs := SortedNeighborhood(c, keyOf, 2)
+	// Window 2 pairs adjacent records in sorted order: 4 pairs for 5 records.
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v, want 4 adjacent pairs", pairs)
+	}
+	// Records sharing the key must be adjacent and hence paired.
+	found := func(i, j int32) bool {
+		for _, p := range pairs {
+			if p.I == i && p.J == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(0, 1) || !found(2, 3) {
+		t.Errorf("same-key pairs missing from %v", pairs)
+	}
+}
+
+func TestSortedNeighborhoodFullWindowIsComplete(t *testing.T) {
+	c := corpus("aa", "bb", "cc", "dd")
+	pairs := SortedNeighborhood(c, nil, 4)
+	if len(pairs) != 6 {
+		t.Errorf("window = n must produce all C(4,2)=6 pairs, got %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Errorf("pair %v not normalized", p)
+		}
+	}
+}
+
+func TestSortedNeighborhoodDefaultKeyUsesRarestTerm(t *testing.T) {
+	// "rare" has df 2, "common" df 4: default key must sort the two rare
+	// records together even with window 2.
+	c := corpus(
+		"common rare",
+		"common aaa1",
+		"common zzz9",
+		"common rare",
+	)
+	pairs := SortedNeighborhood(c, nil, 2)
+	found := false
+	for _, p := range pairs {
+		if p.I == 0 && p.J == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rarest-term key should pair records 0 and 3, got %v", pairs)
+	}
+}
+
+func TestMultiPassUnion(t *testing.T) {
+	c := corpus("aa pp", "aa qq", "bb pp", "bb qq")
+	firstTerm := func(r int) string { return c.Terms[c.Docs[r][0]] }
+	secondTerm := func(r int) string { return c.Terms[c.Docs[r][1]] }
+	single := SortedNeighborhood(c, firstTerm, 2)
+	multi := MultiPass(c, []func(int) string{firstTerm, secondTerm}, 2)
+	if len(multi) <= len(single) {
+		t.Errorf("multi-pass %d pairs must exceed single pass %d", len(multi), len(single))
+	}
+	// Pairs must be unique.
+	seen := map[[2]int32]bool{}
+	for _, p := range multi {
+		k := [2]int32{p.I, p.J}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,102 @@
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// SortedNeighborhood implements the classic sorted-neighborhood method
+// (Hernández & Stolfo): records are sorted by a blocking key and every pair
+// within a sliding window of the sorted order becomes a candidate. It is an
+// alternative to the inverted-index blocking of Build for datasets whose
+// records have a reliable sort key, and is offered as library functionality
+// (the paper's pipeline uses term-sharing blocking only).
+//
+// keyOf derives the blocking key of a record; nil uses the default key
+// (the record's rarest term, breaking ties lexicographically — rare terms
+// are the most entity-specific sort anchors). window is the sliding-window
+// size; values below 2 are treated as 2.
+func SortedNeighborhood(c *textproc.Corpus, keyOf func(record int) string, window int) []Pair {
+	if window < 2 {
+		window = 2
+	}
+	if keyOf == nil {
+		keyOf = func(r int) string { return defaultKey(c, r) }
+	}
+	n := c.NumRecords()
+	order := make([]int32, n)
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		order[i] = int32(i)
+		keys[i] = keyOf(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	seen := make(map[uint64]struct{})
+	var out []Pair
+	for i := 0; i < n; i++ {
+		end := i + window
+		if end > n {
+			end = n
+		}
+		for j := i + 1; j < end; j++ {
+			ri, rj := order[i], order[j]
+			if ri > rj {
+				ri, rj = rj, ri
+			}
+			key := Key(ri, rj)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, Pair{I: ri, J: rj})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// defaultKey returns the record's rarest term (smallest document
+// frequency, ties broken by term order), or "" for an empty record.
+func defaultKey(c *textproc.Corpus, r int) string {
+	best := ""
+	bestDF := -1
+	for _, t := range c.Docs[r] {
+		df := c.DF[t]
+		if bestDF < 0 || df < bestDF || (df == bestDF && c.Terms[t] < best) {
+			best, bestDF = c.Terms[t], df
+		}
+	}
+	return best
+}
+
+// MultiPass runs SortedNeighborhood over several key functions and unions
+// the candidate sets — the standard multi-pass variant that recovers pairs
+// a single noisy key would miss.
+func MultiPass(c *textproc.Corpus, keys []func(record int) string, window int) []Pair {
+	seen := make(map[uint64]struct{})
+	var out []Pair
+	for _, keyOf := range keys {
+		for _, p := range SortedNeighborhood(c, keyOf, window) {
+			k := Key(p.I, p.J)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}

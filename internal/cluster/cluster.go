@@ -1,0 +1,73 @@
+// Package cluster turns a set of matched record pairs into entity clusters.
+// The ground-truth record graph of §VI-A is a union of disjoint cliques, so
+// the natural output representation of entity resolution is the set of
+// connected components of the matched-pair graph (transitive closure).
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/graph"
+)
+
+// FromMatches computes entity clusters from the flagged candidate pairs.
+// Every record appears in exactly one cluster; unmatched records form
+// singleton clusters. Clusters are ordered by size descending, ties broken
+// by smallest member, members sorted ascending.
+func FromMatches(numRecords int, pairs []blocking.Pair, matched []bool) [][]int {
+	u := graph.NewUnionFind(numRecords)
+	for k, p := range pairs {
+		if matched[k] {
+			u.Union(int(p.I), int(p.J))
+		}
+	}
+	groups := u.Groups(1)
+	sort.SliceStable(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	return groups
+}
+
+// ClosurePairs expands clusters back into the full set of implied matching
+// pairs (the transitive closure used by crowd-based methods to derive extra
+// answers). Keys use blocking.Key.
+func ClosurePairs(clusters [][]int) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, c := range clusters {
+		for a := 0; a < len(c); a++ {
+			for b := a + 1; b < len(c); b++ {
+				out[blocking.Key(int32(c[a]), int32(c[b]))] = true
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes a clustering.
+type Stats struct {
+	Clusters    int // clusters with >= 2 records
+	Singletons  int
+	LargestSize int
+	Records     int
+}
+
+// Summarize computes clustering statistics.
+func Summarize(clusters [][]int) Stats {
+	var s Stats
+	for _, c := range clusters {
+		s.Records += len(c)
+		if len(c) == 1 {
+			s.Singletons++
+			continue
+		}
+		s.Clusters++
+		if len(c) > s.LargestSize {
+			s.LargestSize = len(c)
+		}
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/textproc"
+)
+
+// benchGraph builds a moderately sized candidate structure from synthetic
+// texts: 60 duplicate pairs over shared code terms plus noise records.
+func benchGraph(b *testing.B) (*textproc.Corpus, *blocking.Graph) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	var texts []string
+	for e := 0; e < 60; e++ {
+		code := "cd" + string(rune('a'+e%26)) + string(rune('0'+e%10)) + string(rune('a'+(e/26)%26))
+		common := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		texts = append(texts, code+" "+common+" red", code+" "+common+" blue")
+	}
+	for s := 0; s < 80; s++ {
+		texts = append(texts,
+			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))]+" solo"+string(rune('a'+s%26)))
+	}
+	c := textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
+	g := blocking.Build(c, nil, blocking.Options{MinSharedTerms: 2})
+	if g.NumPairs() == 0 {
+		b.Fatal("bench graph has no candidates")
+	}
+	return c, g
+}
+
+func BenchmarkRunITER(b *testing.B) {
+	_, g := benchGraph(b)
+	p := make([]float64, g.NumPairs())
+	for i := range p {
+		p[i] = 1
+	}
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunITER(g, p, opts, rand.New(rand.NewSource(1)))
+	}
+}
+
+func BenchmarkCliqueRankSteps(b *testing.B) {
+	_, g := benchGraph(b)
+	opts := DefaultOptions()
+	iter := RunITER(g, onesP(g), opts, rand.New(rand.NewSource(1)))
+	rg := BuildRecordGraph(g, iter.S, g.NumRecords)
+	for _, steps := range []int{5, 20, 40} {
+		o := opts
+		o.Steps = steps
+		b.Run(map[int]string{5: "S=5", 20: "S=20", 40: "S=40"}[steps], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CliqueRank(rg, o)
+			}
+		})
+	}
+}
+
+func BenchmarkRSSWalks(b *testing.B) {
+	_, g := benchGraph(b)
+	opts := DefaultOptions()
+	iter := RunITER(g, onesP(g), opts, rand.New(rand.NewSource(1)))
+	rg := BuildRecordGraph(g, iter.S, g.NumRecords)
+	for _, m := range []int{10, 50} {
+		o := opts
+		o.RSSWalks = m
+		b.Run(map[int]string{10: "M=10", 50: "M=50"}[m], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RSS(rg, o)
+			}
+		})
+	}
+}
+
+func BenchmarkBuildRecordGraph(b *testing.B) {
+	_, g := benchGraph(b)
+	iter := RunITER(g, onesP(g), DefaultOptions(), rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRecordGraph(g, iter.S, g.NumRecords)
+	}
+}
+
+func BenchmarkRunFusion(b *testing.B) {
+	_, g := benchGraph(b)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunFusion(g, g.NumRecords, opts)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/blocking"
+)
+
+// FusionResult is the output of the full ITER ⇄ CliqueRank framework.
+type FusionResult struct {
+	// X is the final term weight vector.
+	X []float64
+	// S is the final pair similarity s(ri, rj).
+	S []float64
+	// P is the final matching probability p(ri, rj) ∈ [0, 1].
+	P []float64
+	// Matches flags the pairs with P >= opts.Eta.
+	Matches []bool
+	// Graph is the record graph of the last iteration (Table III stats).
+	Graph *RecordGraph
+	// ITERTrace records, per fusion iteration, the Σ|Δx_t| update series of
+	// the inner ITER loop (the Figure 5 data, concatenated across fusion
+	// iterations).
+	ITERTrace [][]float64
+	// Elapsed is the total wall-clock time of the fusion loop.
+	Elapsed time.Duration
+}
+
+// RunFusion executes the full unsupervised framework of Figure 2 on a
+// blocked candidate set:
+//
+//	p ← 1 for every pair
+//	repeat FusionIterations times:
+//	    x, s ← ITER(bipartite graph, p)      (§V)
+//	    G_r  ← record graph weighted by s     (§VI-A)
+//	    p    ← CliqueRank(G_r)  (or RSS)      (§VI-B/C)
+//
+// After the last round, pairs with p >= η are declared matches.
+// opts.Progress, when set, observes every iteration (the Table V hook).
+func RunFusion(g *blocking.Graph, numRecords int, opts Options) *FusionResult {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	p := make([]float64, g.NumPairs())
+	for k := range p {
+		p[k] = 1
+	}
+	res := &FusionResult{}
+	iters := opts.FusionIterations
+	if iters < 1 {
+		iters = 1
+	}
+	for it := 1; it <= iters; it++ {
+		iterRes := RunITER(g, p, opts, rng)
+		res.X, res.S = iterRes.X, iterRes.S
+		res.ITERTrace = append(res.ITERTrace, iterRes.Updates)
+
+		res.Graph = BuildRecordGraph(g, res.S, numRecords)
+		if opts.UseRSS {
+			p = RSS(res.Graph, opts)
+		} else {
+			p = CliqueRank(res.Graph, opts)
+		}
+		if opts.Progress != nil {
+			opts.Progress(it, res.S, p, time.Since(start))
+		}
+	}
+	res.P = p
+	res.Matches = make([]bool, len(p))
+	for k, v := range p {
+		res.Matches[k] = v >= opts.Eta
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

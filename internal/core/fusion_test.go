@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fusionTexts: three duplicate pairs plus noise records. Duplicates share
+// two discriminative terms; noise records attach to the cliques through
+// mid-frequency terms (red/blue/metal/...). There is deliberately no global
+// stop word: the paper's preprocessing removes terms that occur in nearly
+// every record, and without that removal singleton records whose edges are
+// all equal-weight can be boosted to p ≈ 1 by Eq. 12 (a property
+// TestRunFusionStopWordDegeneracy documents explicitly).
+// Matching records share four entity-specific terms, so a spurious edge
+// (one or two shared common terms) weighs well under half of a matching
+// edge — the regime the real benchmarks are in.
+var fusionTexts = []string{
+	"ax7f k100 alpha prime red metal",     // 0 \ entity A
+	"ax7f k100 alpha prime blue metal",    // 1 /
+	"bq9k m200 beta second red plastic",   // 2 \ entity B
+	"bq9k m200 beta second green plastic", // 3 /
+	"cz3m n300 gamma third blue wood",     // 4 \ entity C
+	"cz3m n300 gamma third yellow wood",   // 5 /
+	"delta red metal odd1",                // 6 noise
+	"epsilon blue wood odd2",              // 7 noise
+	"zeta green plastic odd3",             // 8 noise
+}
+
+func TestRunFusionEndToEnd(t *testing.T) {
+	c, g := setup(fusionTexts...)
+	_ = c
+	opts := DefaultOptions()
+	res := RunFusion(g, len(fusionTexts), opts)
+
+	matchPairs := [][2]int32{{0, 1}, {2, 3}, {4, 5}}
+	for _, mp := range matchPairs {
+		id, ok := g.PairID(mp[0], mp[1])
+		if !ok {
+			t.Fatalf("pair %v not a candidate", mp)
+		}
+		if !res.Matches[id] {
+			t.Errorf("duplicate pair %v not matched (p=%g)", mp, res.P[id])
+		}
+	}
+	// No spurious matches: every flagged pair must be one of the three.
+	for pid, matched := range res.Matches {
+		if !matched {
+			continue
+		}
+		p := g.Pairs[pid]
+		ok := false
+		for _, mp := range matchPairs {
+			if p.I == mp[0] && p.J == mp[1] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("spurious match (%d,%d) with p=%g", p.I, p.J, res.P[pid])
+		}
+	}
+}
+
+func TestRunFusionWithRSSBackend(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	opts := DefaultOptions()
+	opts.UseRSS = true
+	opts.RSSWalks = 100
+	opts.FusionIterations = 2
+	res := RunFusion(g, len(fusionTexts), opts)
+	id, _ := g.PairID(0, 1)
+	if !res.Matches[id] {
+		t.Errorf("RSS backend missed duplicate pair, p=%g", res.P[id])
+	}
+}
+
+func TestRunFusionProgressCallback(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	opts := DefaultOptions()
+	opts.FusionIterations = 3
+	var iterations []int
+	var lastElapsed time.Duration
+	opts.Progress = func(it int, s, p []float64, elapsed time.Duration) {
+		iterations = append(iterations, it)
+		if len(s) != g.NumPairs() || len(p) != g.NumPairs() {
+			t.Errorf("callback slices misaligned: %d/%d vs %d", len(s), len(p), g.NumPairs())
+		}
+		if elapsed < lastElapsed {
+			t.Error("elapsed time must be monotone")
+		}
+		lastElapsed = elapsed
+	}
+	RunFusion(g, len(fusionTexts), opts)
+	if len(iterations) != 3 || iterations[0] != 1 || iterations[2] != 3 {
+		t.Errorf("callback iterations = %v, want [1 2 3]", iterations)
+	}
+}
+
+func TestRunFusionTraceMatchesIterations(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	opts := DefaultOptions()
+	opts.FusionIterations = 4
+	res := RunFusion(g, len(fusionTexts), opts)
+	if len(res.ITERTrace) != 4 {
+		t.Fatalf("trace has %d entries, want 4", len(res.ITERTrace))
+	}
+	for i, tr := range res.ITERTrace {
+		if len(tr) == 0 {
+			t.Errorf("fusion iteration %d recorded no ITER updates", i+1)
+		}
+	}
+	if res.Graph == nil || res.Graph.NumNodes() != len(fusionTexts) {
+		t.Error("final record graph missing or wrong size")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed must be positive")
+	}
+}
+
+func TestRunFusionDeterministic(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	a := RunFusion(g, len(fusionTexts), DefaultOptions())
+	b := RunFusion(g, len(fusionTexts), DefaultOptions())
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatal("fusion must be deterministic under a fixed seed")
+		}
+	}
+}
+
+// TestRunFusionStopWordDegeneracy documents why the paper's preprocessing
+// removes very frequent terms: when singleton records are connected only
+// through a corpus-wide stop word, all their edges have equal weight and
+// the Eq. 12 target bonus makes any pair of them mutually reachable with
+// probability ≈ 1 — an unavoidable false positive for the walk model.
+func TestRunFusionStopWordDegeneracy(t *testing.T) {
+	texts := []string{
+		"widget ax7f alpha",
+		"widget ax7f alpha",
+		"widget solo1 only1",
+		"widget solo2 only2",
+	}
+	_, g := setup(texts...)
+	res := RunFusion(g, len(texts), DefaultOptions())
+	id, ok := g.PairID(2, 3)
+	if !ok {
+		t.Fatal("stop-word pair must be a candidate")
+	}
+	if res.P[id] < 0.9 {
+		t.Errorf("degenerate stop-word pair p = %g; expected ≈ 1 (this documents the failure mode the frequent-term filter prevents)", res.P[id])
+	}
+}
+
+func TestRunFusionReinforcementSharpensSeparation(t *testing.T) {
+	// Table V intuition: feeding p back into ITER should not degrade the
+	// margin between matching and spurious pairs.
+	_, g := setup(fusionTexts...)
+	margin := func(iters int) float64 {
+		opts := DefaultOptions()
+		opts.FusionIterations = iters
+		res := RunFusion(g, len(fusionTexts), opts)
+		worstMatch, bestSpurious := 1.0, 0.0
+		for pid, pair := range g.Pairs {
+			isMatch := (pair.I == 0 && pair.J == 1) || (pair.I == 2 && pair.J == 3) || (pair.I == 4 && pair.J == 5)
+			if isMatch && res.P[pid] < worstMatch {
+				worstMatch = res.P[pid]
+			}
+			if !isMatch && res.P[pid] > bestSpurious {
+				bestSpurious = res.P[pid]
+			}
+		}
+		return worstMatch - bestSpurious
+	}
+	m1 := margin(1)
+	m5 := margin(5)
+	if m5 < m1-1e-9 {
+		t.Errorf("margin after 5 fusion rounds (%g) worse than after 1 (%g)", m5, m1)
+	}
+}

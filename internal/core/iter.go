@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/blocking"
+)
+
+// ITERResult holds the output of one ITER run.
+type ITERResult struct {
+	// X is the learned term weight (discrimination power) x_t per term.
+	X []float64
+	// S is the learned pair similarity s(ri, rj) per candidate pair.
+	S []float64
+	// Updates records Σ_t |Δx_t| per inner iteration — the series plotted
+	// in Figure 5.
+	Updates []float64
+	// Iterations is the number of inner iterations executed.
+	Iterations int
+}
+
+// RunITER executes Algorithm 1 on the bipartite term/pair graph. p is the
+// edge weight p(ri, rj) per pair node (initialized to 1 before CliqueRank
+// has produced an estimate). rng drives the random initialization of x_t.
+//
+// Each iteration performs the two propagation sweeps of Eq. 6–7:
+//
+//	s(ri,rj) ← Σ_{t ∈ ri ∧ t ∈ rj} x_t                 (term → pair)
+//	x_t      ← Σ_{(ri,rj) ∋ t} p(ri,rj)·s(ri,rj) / P_t  (pair → term)
+//	x_t      ← x_t / (1 + x_t)                          (normalization)
+//
+// and runs until Σ|Δx_t| < opts.ITERTol or opts.ITERMaxIters is reached.
+// Terms connected to no pair node (P_t = 0) keep weight 0: they occur in a
+// single record and cannot influence any similarity.
+func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITERResult {
+	if len(p) != g.NumPairs() {
+		panic("core: p must be aligned with candidate pairs")
+	}
+	x := make([]float64, g.NumTerms)
+	for t := range x {
+		if g.Pt(t) > 0 {
+			x[t] = rng.Float64()
+		}
+	}
+	s := make([]float64, g.NumPairs())
+	res := &ITERResult{X: x, S: s}
+
+	// Terms connected to at least one pair node; only these carry weight.
+	active := make([]int, 0, g.NumTerms)
+	for t := range g.TermPairs {
+		if g.Pt(t) > 0 {
+			active = append(active, t)
+		}
+	}
+	raw := make([]float64, len(active))
+
+	for iter := 0; iter < opts.ITERMaxIters; iter++ {
+		// Term → pair sweep: s(ri,rj) = Σ shared x_t. Traversing the
+		// bipartite edges term-side gives the same sums without needing a
+		// per-pair term list.
+		for k := range s {
+			s[k] = 0
+		}
+		for t, pairIDs := range g.TermPairs {
+			xt := x[t]
+			if xt == 0 {
+				continue
+			}
+			for _, pid := range pairIDs {
+				s[pid] += xt
+			}
+		}
+		// Pair → term sweep with the P_t punishment and the p(ri,rj) edge
+		// weight, then the per-iteration normalization: the bounded map
+		// x = x/(1+x) (the paper's 1/(1+1/x), written division-safely) or
+		// the L2 alternative §V-C mentions.
+		for k, t := range active {
+			pairIDs := g.TermPairs[t]
+			var acc float64
+			for _, pid := range pairIDs {
+				acc += p[pid] * s[pid]
+			}
+			if !opts.DisableDenominator {
+				acc /= float64(len(pairIDs))
+			}
+			raw[k] = acc
+		}
+		var delta float64
+		switch opts.Normalization {
+		case NormL2:
+			var norm float64
+			for _, v := range raw {
+				norm += v * v
+			}
+			norm = math.Sqrt(norm)
+			for k, t := range active {
+				nx := 0.0
+				if norm > 0 {
+					nx = raw[k] / norm
+				}
+				delta += math.Abs(nx - x[t])
+				x[t] = nx
+			}
+		default: // NormBounded
+			for k, t := range active {
+				nx := raw[k] / (1 + raw[k])
+				delta += math.Abs(nx - x[t])
+				x[t] = nx
+			}
+		}
+		res.Updates = append(res.Updates, delta)
+		res.Iterations = iter + 1
+		if delta < opts.ITERTol {
+			break
+		}
+	}
+	// Final term → pair sweep so S reflects the converged weights.
+	for k := range s {
+		s[k] = 0
+	}
+	for t, pairIDs := range g.TermPairs {
+		xt := x[t]
+		if xt == 0 {
+			continue
+		}
+		for _, pid := range pairIDs {
+			s[pid] += xt
+		}
+	}
+	return res
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/blocking"
+	"repro/internal/matrix"
+)
+
+// RecordGraph is G_r (§VI-A): nodes are records, edges are candidate pairs,
+// edge weights are the ITER similarities s(ri, rj). The symmetric sparsity
+// pattern is shared by every matrix in the CliqueRank chain.
+type RecordGraph struct {
+	// Pattern is the adjacency structure M_n.
+	Pattern *matrix.Pattern
+	// S holds the symmetric edge weights.
+	S *matrix.PatVec
+	// PairSlot maps a candidate pair ID to the slot of its (I → J) entry,
+	// or -1 when the pair's similarity was 0 and the edge was dropped.
+	PairSlot []int32
+	// Edges lists the pair IDs that became edges, aligned with graph order.
+	Edges []int32
+}
+
+// BuildRecordGraph assembles G_r from the candidate set and per-pair
+// similarities. Pairs with similarity 0 (possible when every shared term
+// ended with weight 0) are excluded: a zero-weight edge can never be chosen
+// by the walk and would only add zero rows to the transition matrix.
+func BuildRecordGraph(g *blocking.Graph, s []float64, numRecords int) *RecordGraph {
+	var edges []matrix.Edge
+	var kept []int32
+	for pid, p := range g.Pairs {
+		if s[pid] <= 0 {
+			continue
+		}
+		edges = append(edges, matrix.Edge{I: p.I, J: p.J})
+		kept = append(kept, int32(pid))
+	}
+	pat := matrix.NewPattern(numRecords, edges)
+	sv := matrix.NewPatVec(pat)
+	slot := make([]int32, g.NumPairs())
+	for i := range slot {
+		slot[i] = -1
+	}
+	for _, pid := range kept {
+		p := g.Pairs[pid]
+		a := pat.Slot(int(p.I), int(p.J))
+		b := pat.Slot(int(p.J), int(p.I))
+		sv.Val[a] = s[pid]
+		sv.Val[b] = s[pid]
+		slot[pid] = int32(a)
+	}
+	return &RecordGraph{Pattern: pat, S: sv, PairSlot: slot, Edges: kept}
+}
+
+// NumNodes returns the record count (Table III "number of nodes in G_r").
+func (rg *RecordGraph) NumNodes() int { return rg.Pattern.N }
+
+// NumEdges returns the undirected edge count (Table III "number of edges").
+func (rg *RecordGraph) NumEdges() int { return rg.Pattern.NNZ() / 2 }

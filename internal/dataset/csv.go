@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV layout used by WriteCSV/LoadCSV:
+//
+//	id,entity,source,text
+//
+// entity may be empty (unknown ground truth). Extra columns beyond the
+// fourth are appended to the text, which makes it easy to feed real
+// benchmark exports whose attributes are spread over several columns.
+
+// WriteCSV serializes the dataset, one record per row with a header.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "entity", "source", "text"}); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		entity := ""
+		if r.EntityID >= 0 {
+			entity = strconv.Itoa(r.EntityID)
+		}
+		row := []string{strconv.Itoa(r.ID), entity, strconv.Itoa(r.Source), r.Text}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV parses a dataset written by WriteCSV (or any file with the same
+// header). Records are re-indexed densely in file order.
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	start := 0
+	if len(rows[0]) >= 1 && rows[0][0] == "id" {
+		start = 1
+	}
+	d := &Dataset{Name: name, NumSources: 1}
+	entityIDs := make(map[string]int)
+	for _, row := range rows[start:] {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want >=4", len(d.Records)+start, len(row))
+		}
+		entity := -1
+		if row[1] != "" {
+			id, ok := entityIDs[row[1]]
+			if !ok {
+				id = len(entityIDs)
+				entityIDs[row[1]] = id
+			}
+			entity = id
+		}
+		source, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: bad source %q: %w", len(d.Records)+start, row[2], err)
+		}
+		text := row[3]
+		for _, extra := range row[4:] {
+			if extra != "" {
+				text += " " + extra
+			}
+		}
+		if source+1 > d.NumSources {
+			d.NumSources = source + 1
+		}
+		d.Records = append(d.Records, Record{
+			ID:       len(d.Records),
+			EntityID: entity,
+			Source:   source,
+			Text:     text,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,325 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenRestaurantStats(t *testing.T) {
+	d := GenRestaurant(DefaultGenConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 858 {
+		t.Errorf("records = %d, want 858", d.NumRecords())
+	}
+	if got := d.NumTrueMatches(); got != 106 {
+		t.Errorf("true matches = %d, want 106", got)
+	}
+	if d.NumSources != 1 {
+		t.Errorf("sources = %d, want 1", d.NumSources)
+	}
+	sizes := d.ClusterSizes()
+	if sizes[0] != 2 {
+		t.Errorf("largest cluster = %d, want 2", sizes[0])
+	}
+}
+
+func TestGenProductStats(t *testing.T) {
+	d := GenProduct(DefaultGenConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var abt, buy int
+	for _, r := range d.Records {
+		switch r.Source {
+		case SourceAbt:
+			abt++
+		case SourceBuy:
+			buy++
+		default:
+			t.Fatalf("record %d has source %d", r.ID, r.Source)
+		}
+	}
+	if abt != 1081 {
+		t.Errorf("abt records = %d, want 1081", abt)
+	}
+	if buy != 1092 {
+		t.Errorf("buy records = %d, want 1092", buy)
+	}
+	if got := d.NumTrueMatches(); got != 1092 {
+		t.Errorf("true matches = %d, want 1092", got)
+	}
+}
+
+func TestGenPaperStats(t *testing.T) {
+	d := GenPaper(DefaultGenConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 1865 {
+		t.Errorf("records = %d, want 1865", d.NumRecords())
+	}
+	sizes := d.ClusterSizes()
+	if sizes[0] != 192 {
+		t.Errorf("largest cluster = %d, want 192", sizes[0])
+	}
+	large := 0
+	for _, s := range sizes {
+		if s >= 3 {
+			large++
+		}
+	}
+	if large != 96 {
+		t.Errorf("clusters with >=3 records = %d, want 96", large)
+	}
+	// Cora generates far more matching pairs than the other datasets:
+	// the largest cluster alone contributes 192*191/2 = 18336.
+	if m := d.NumTrueMatches(); m < 18336 {
+		t.Errorf("true matches = %d, want >= 18336", m)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func(GenConfig) *Dataset{
+		"restaurant": GenRestaurant,
+		"product":    GenProduct,
+		"paper":      GenPaper,
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			cfg := GenConfig{Seed: 42, Scale: 0.1}
+			a := gen(cfg)
+			b := gen(cfg)
+			if !reflect.DeepEqual(a, b) {
+				t.Error("same config must generate identical datasets")
+			}
+			c := gen(GenConfig{Seed: 43, Scale: 0.1})
+			if reflect.DeepEqual(a.Records, c.Records) {
+				t.Error("different seeds must generate different datasets")
+			}
+		})
+	}
+}
+
+func TestGeneratorsScale(t *testing.T) {
+	d := GenRestaurant(GenConfig{Seed: 1, Scale: 0.5})
+	if got, want := d.NumRecords(), 53*2+323; got != want {
+		t.Errorf("scaled records = %d, want %d", got, want)
+	}
+	if got := d.NumTrueMatches(); got != 53 {
+		t.Errorf("scaled matches = %d, want 53", got)
+	}
+	p := GenPaper(GenConfig{Seed: 1, Scale: 0.25})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRecords() != 466 {
+		t.Errorf("scaled paper records = %d, want 466", p.NumRecords())
+	}
+}
+
+func TestPaperClusterSizesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + rng.Intn(2000)
+		nLarge := 1 + rng.Intn(100)
+		maxSize := 3 + rng.Intn(200)
+		sizes := paperClusterSizes(n, nLarge, maxSize)
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				t.Fatalf("cluster of size %d", s)
+			}
+			if s > maxSize {
+				t.Fatalf("cluster of size %d exceeds max %d", s, maxSize)
+			}
+			sum += s
+		}
+		if sum != n {
+			t.Fatalf("sizes sum to %d, want %d (n=%d nLarge=%d max=%d)", sum, n, n, nLarge, maxSize)
+		}
+	}
+}
+
+func TestTrueMatchesCrossSourceOnly(t *testing.T) {
+	d := &Dataset{
+		Name:       "t",
+		NumSources: 2,
+		Records: []Record{
+			{ID: 0, EntityID: 7, Source: 0, Text: "a"},
+			{ID: 1, EntityID: 7, Source: 0, Text: "b"},
+			{ID: 2, EntityID: 7, Source: 1, Text: "c"},
+		},
+	}
+	// (0,2) and (1,2) cross-source; (0,1) same source excluded.
+	if got := d.NumTrueMatches(); got != 2 {
+		t.Errorf("NumTrueMatches = %d, want 2", got)
+	}
+	d.NumSources = 1
+	if got := d.NumTrueMatches(); got != 3 {
+		t.Errorf("single-source NumTrueMatches = %d, want 3", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := GenRestaurant(GenConfig{Seed: 5, Scale: 0.05})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != d.NumRecords() {
+		t.Fatalf("round trip records %d -> %d", d.NumRecords(), back.NumRecords())
+	}
+	if back.NumTrueMatches() != d.NumTrueMatches() {
+		t.Errorf("round trip matches %d -> %d", d.NumTrueMatches(), back.NumTrueMatches())
+	}
+	for i, r := range back.Records {
+		if r.Text != d.Records[i].Text {
+			t.Fatalf("record %d text changed", i)
+		}
+	}
+}
+
+func TestLoadCSVMissingGroundTruth(t *testing.T) {
+	in := "id,entity,source,text\n0,,0,hello world\n1,,0,hello there\n"
+	d, err := LoadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasGroundTruth() {
+		t.Error("dataset without entity labels must not claim ground truth")
+	}
+	if d.NumTrueMatches() != 0 {
+		t.Error("no labels means no true matches")
+	}
+}
+
+func TestLoadCSVExtraColumns(t *testing.T) {
+	in := "id,entity,source,text\n0,e1,0,hello,extra tokens\n"
+	d, err := LoadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records[0].Text != "hello extra tokens" {
+		t.Errorf("text = %q", d.Records[0].Text)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty file must fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("id,entity,source,text\n0,,zz,text\n"), "x"); err == nil {
+		t.Error("bad source must fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("id,entity,source,text\n0,,0\n"), "x"); err == nil {
+		t.Error("short row must fail")
+	}
+}
+
+func TestProductDiscriminativeModelCodes(t *testing.T) {
+	d := GenProduct(GenConfig{Seed: 2, Scale: 0.2})
+	// A matching cross-source pair shares the model code most of the time.
+	// Verify model codes are unique per entity by checking two different
+	// entities never produce identical name fields.
+	seen := map[string]int{}
+	for _, r := range d.Records {
+		if r.Source != SourceAbt {
+			continue
+		}
+		name := r.Fields[0].Value
+		model := name[strings.LastIndex(name, " ")+1:]
+		if prev, ok := seen[model]; ok && prev != r.EntityID {
+			t.Fatalf("model code %q reused across entities %d and %d", model, prev, r.EntityID)
+		}
+		seen[model] = r.EntityID
+	}
+}
+
+// TestGeneratorInvariantsAcrossConfigs samples random (seed, scale) pairs
+// and checks structural invariants of every replica.
+func TestGeneratorInvariantsAcrossConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	gens := map[string]func(GenConfig) *Dataset{
+		"restaurant": GenRestaurant,
+		"product":    GenProduct,
+		"paper":      GenPaper,
+	}
+	for trial := 0; trial < 8; trial++ {
+		cfg := GenConfig{Seed: rng.Int63(), Scale: 0.05 + rng.Float64()*0.45}
+		for name, gen := range gens {
+			d := gen(cfg)
+			if err := d.Validate(); err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			if d.NumTrueMatches() == 0 {
+				t.Errorf("%s %+v: no true matches", name, cfg)
+			}
+			switch name {
+			case "restaurant":
+				sizes := d.ClusterSizes()
+				if sizes[0] > 2 {
+					t.Errorf("restaurant cluster of size %d", sizes[0])
+				}
+			case "product":
+				if d.NumSources != 2 {
+					t.Errorf("product sources = %d", d.NumSources)
+				}
+				for _, r := range d.Records {
+					if r.Source != SourceAbt && r.Source != SourceBuy {
+						t.Fatalf("product record with source %d", r.Source)
+					}
+				}
+			case "paper":
+				// Total records must exactly match the scaled target.
+				want := cfg.scaled(paperRecords)
+				if d.NumRecords() != want {
+					t.Errorf("paper records = %d, want %d", d.NumRecords(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaTokenStatistics guards the corpus-level properties the
+// pipeline depends on: records are non-trivial, and the phone / model-code
+// anchors are unique per entity.
+func TestReplicaTokenStatistics(t *testing.T) {
+	d := GenRestaurant(GenConfig{Seed: 9, Scale: 0.3})
+	phones := map[string]int{}
+	for _, r := range d.Records {
+		last := r.Fields[len(r.Fields)-1]
+		if last.Name != "phone" {
+			t.Fatalf("unexpected field layout: %v", r.Fields)
+		}
+		if last.Value == "" {
+			continue
+		}
+		if prev, ok := phones[last.Value]; ok && prev != r.EntityID {
+			t.Fatalf("phone %s shared by entities %d and %d", last.Value, prev, r.EntityID)
+		}
+		phones[last.Value] = r.EntityID
+	}
+}
+
+func TestWriteCSVStable(t *testing.T) {
+	d := GenProduct(GenConfig{Seed: 4, Scale: 0.05})
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteCSV output not deterministic")
+	}
+}

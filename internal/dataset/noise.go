@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// noiser bundles the deterministic corruption operators the generators use
+// to derive record variants from a canonical entity description. All
+// randomness flows from a single seeded source so a (seed, scale) pair
+// always produces the identical dataset.
+type noiser struct {
+	rng *rand.Rand
+}
+
+func newNoiser(rng *rand.Rand) *noiser { return &noiser{rng: rng} }
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// typo applies one random character edit (substitute, delete, insert or
+// transpose) to a word. Words shorter than 3 runes are returned unchanged:
+// corrupting them would usually produce a different real token rather than
+// a misspelling.
+func (n *noiser) typo(w string) string {
+	if len(w) < 3 {
+		return w
+	}
+	b := []byte(w)
+	pos := n.rng.Intn(len(b))
+	switch n.rng.Intn(4) {
+	case 0: // substitute
+		b[pos] = letters[n.rng.Intn(len(letters))]
+	case 1: // delete
+		b = append(b[:pos], b[pos+1:]...)
+	case 2: // insert
+		c := letters[n.rng.Intn(len(letters))]
+		b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+	default: // transpose with next
+		if pos == len(b)-1 {
+			pos--
+		}
+		b[pos], b[pos+1] = b[pos+1], b[pos]
+	}
+	return string(b)
+}
+
+// maybeTypo corrupts the word with probability p.
+func (n *noiser) maybeTypo(w string, p float64) string {
+	if n.rng.Float64() < p {
+		return n.typo(w)
+	}
+	return w
+}
+
+// dropWords removes each word of the sentence independently with
+// probability p, always keeping at least one word.
+func (n *noiser) dropWords(words []string, p float64) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if n.rng.Float64() < p {
+			continue
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 && len(words) > 0 {
+		out = append(out, words[n.rng.Intn(len(words))])
+	}
+	return out
+}
+
+// shuffleSome swaps adjacent words with probability p per position,
+// modelling field reordering between sources.
+func (n *noiser) shuffleSome(words []string, p float64) []string {
+	out := make([]string, len(words))
+	copy(out, words)
+	for i := 0; i+1 < len(out); i++ {
+		if n.rng.Float64() < p {
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	}
+	return out
+}
+
+// abbreviate replaces words with their abbreviation when the table has one,
+// each with probability p.
+func (n *noiser) abbreviate(words []string, table map[string]string, p float64) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		if ab, ok := table[w]; ok && n.rng.Float64() < p {
+			out[i] = ab
+			continue
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// pick returns a uniformly random element.
+func (n *noiser) pick(pool []string) string { return pool[n.rng.Intn(len(pool))] }
+
+// zipfPick draws from the pool with a Zipf-like bias toward low indexes,
+// modelling natural token frequency distributions: index ∝ u^exp over the
+// pool, exp > 1 skews toward the head.
+func (n *noiser) zipfPick(pool []string, exp float64) string {
+	u := n.rng.Float64()
+	idx := int(math.Pow(u, exp) * float64(len(pool)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}
+
+// digits returns a string of k random decimal digits (no leading-zero
+// restriction; phone numbers and model codes are plain tokens).
+func (n *noiser) digits(k int) string {
+	var sb strings.Builder
+	for i := 0; i < k; i++ {
+		sb.WriteByte(byte('0' + n.rng.Intn(10)))
+	}
+	return sb.String()
+}
+
+// code returns an alphanumeric model-style code such as "pslx350h": a few
+// letters, a few digits, optionally a trailing letter.
+func (n *noiser) code() string {
+	var sb strings.Builder
+	for i, k := 0, 2+n.rng.Intn(3); i < k; i++ {
+		sb.WriteByte(letters[n.rng.Intn(len(letters))])
+	}
+	sb.WriteString(n.digits(2 + n.rng.Intn(3)))
+	if n.rng.Intn(2) == 0 {
+		sb.WriteByte(letters[n.rng.Intn(len(letters))])
+	}
+	return sb.String()
+}
+
+// word synthesizes a pronounceable lowercase word of the given syllable
+// count, used to extend the fixed vocabularies deterministically.
+func (n *noiser) word(syllables int) string {
+	const consonants = "bcdfghjklmnpqrstvwz"
+	const vowels = "aeiou"
+	var sb strings.Builder
+	for i := 0; i < syllables; i++ {
+		sb.WriteByte(consonants[n.rng.Intn(len(consonants))])
+		sb.WriteByte(vowels[n.rng.Intn(len(vowels))])
+		if n.rng.Intn(3) == 0 {
+			sb.WriteByte(consonants[n.rng.Intn(len(consonants))])
+		}
+	}
+	return sb.String()
+}
+
+// wordPool synthesizes count distinct words.
+func (n *noiser) wordPool(count, syllables int) []string {
+	seen := make(map[string]struct{}, count)
+	out := make([]string, 0, count)
+	for len(out) < count {
+		w := n.word(syllables)
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	return out
+}

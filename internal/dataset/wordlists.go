@@ -1,0 +1,125 @@
+package dataset
+
+// Fixed domain vocabularies for the benchmark replicas. They seed the
+// common, non-discriminative part of the token distribution; entity-specific
+// discriminative tokens (phone numbers, model codes, rare title words) are
+// synthesized per entity by the generators.
+
+var restaurantNameWords = []string{
+	"golden", "dragon", "palace", "garden", "house", "grill", "kitchen",
+	"cafe", "bistro", "corner", "royal", "little", "blue", "red", "green",
+	"ocean", "river", "star", "sunset", "village", "old", "new", "grand",
+	"silver", "lucky", "jade", "pearl", "lotus", "olive", "maple",
+}
+
+var restaurantCuisines = []string{
+	"italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
+	"american", "mediterranean", "seafood", "steakhouse", "barbecue",
+	"vegetarian", "continental", "cajun", "greek", "spanish", "korean",
+}
+
+var streetNames = []string{
+	"main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake",
+	"hill", "park", "sunset", "broadway", "madison", "lincoln", "jefferson",
+	"franklin", "jackson", "highland", "valley", "ridge", "spring", "mill",
+	"church", "market", "union", "center", "prospect", "grove", "walnut",
+}
+
+var streetSuffixes = []string{"street", "avenue", "boulevard", "road", "drive", "lane", "place", "way"}
+
+// streetAbbrev maps full street words to the abbreviations that make the
+// Restaurant benchmark hard for plain string matching.
+var streetAbbrev = map[string]string{
+	"street":    "st",
+	"avenue":    "ave",
+	"boulevard": "blvd",
+	"road":      "rd",
+	"drive":     "dr",
+	"lane":      "ln",
+	"place":     "pl",
+	"east":      "e",
+	"west":      "w",
+	"north":     "n",
+	"south":     "s",
+}
+
+var cities = []string{
+	"newyork", "losangeles", "chicago", "houston", "phoenix", "philadelphia",
+	"sanantonio", "sandiego", "dallas", "sanjose", "austin", "atlanta",
+	"boston", "denver", "seattle", "miami", "portland", "memphis",
+}
+
+var productBrands = []string{
+	"sony", "panasonic", "samsung", "toshiba", "philips", "sharp", "canon",
+	"nikon", "jvc", "pioneer", "yamaha", "denon", "kenwood", "sanyo", "bose",
+	"garmin", "logitech", "netgear", "linksys", "olympus", "casio", "epson",
+	"brother", "sandisk", "kingston", "belkin", "haier", "frigidaire",
+	"whirlpool", "maytag",
+}
+
+var productCategories = []string{
+	"turntable", "receiver", "camcorder", "camera", "television", "speaker",
+	"headphones", "refrigerator", "microwave", "dishwasher", "washer",
+	"dryer", "printer", "scanner", "monitor", "keyboard", "router", "radio",
+	"player", "recorder", "projector", "amplifier", "subwoofer", "soundbar",
+}
+
+var productAdjectives = []string{
+	"black", "white", "silver", "portable", "digital", "wireless", "compact",
+	"stereo", "automatic", "programmable", "rechargeable", "waterproof",
+	"bluetooth", "remote", "control", "energy", "series", "system", "home",
+	"theater", "high", "definition", "widescreen", "inch", "watt", "channel",
+	"deluxe", "professional", "edition", "pack",
+}
+
+var authorFirst = []string{
+	"john", "robert", "michael", "william", "david", "richard", "thomas",
+	"mary", "jennifer", "linda", "susan", "karen", "james", "daniel",
+	"andrew", "peter", "paul", "mark", "george", "kenneth", "wei", "jun",
+	"hiroshi", "pierre", "hans", "sergey", "rajesh", "carlos",
+}
+
+var authorLast = []string{
+	"smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+	"wilson", "anderson", "taylor", "thomas", "moore", "jackson", "martin",
+	"lee", "thompson", "white", "harris", "clark", "lewis", "walker", "hall",
+	"young", "king", "wright", "lopez", "hill", "scott", "green", "adams",
+	"chen", "wang", "zhang", "kumar", "mueller", "tanaka", "ivanov",
+}
+
+var paperTopicWords = []string{
+	"learning", "neural", "networks", "probabilistic", "inference",
+	"reinforcement", "markov", "bayesian", "classification", "clustering",
+	"optimization", "genetic", "algorithms", "knowledge", "representation",
+	"reasoning", "planning", "search", "constraint", "satisfaction",
+	"natural", "language", "processing", "speech", "recognition", "vision",
+	"robotics", "agents", "decision", "trees", "boosting", "kernel",
+	"methods", "feature", "selection", "dimensionality", "reduction",
+	"hidden", "models", "gradient", "descent", "stochastic", "sampling",
+	"approximation", "bounds", "complexity", "analysis", "framework",
+	"empirical", "evaluation",
+}
+
+var paperVenues = [][]string{
+	{"proceedings", "international", "conference", "machine", "learning"},
+	{"advances", "neural", "information", "processing", "systems"},
+	{"journal", "artificial", "intelligence", "research"},
+	{"national", "conference", "artificial", "intelligence"},
+	{"machine", "learning", "journal"},
+	{"international", "joint", "conference", "artificial", "intelligence"},
+	{"annual", "conference", "computational", "learning", "theory"},
+	{"ieee", "transactions", "pattern", "analysis"},
+}
+
+var venueAbbrev = map[string]string{
+	"proceedings":   "proc",
+	"international": "intl",
+	"conference":    "conf",
+	"journal":       "j",
+	"artificial":    "artif",
+	"intelligence":  "intell",
+	"transactions":  "trans",
+	"computational": "comput",
+	"information":   "inf",
+	"systems":       "syst",
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro"
+	"repro/internal/core"
+)
+
+// AblationResult measures the F1 impact of disabling one design choice of
+// the framework (DESIGN.md §4) across the replicas.
+type AblationResult struct {
+	Name string
+	// F1 per dataset with the full framework.
+	Full [3]float64
+	// F1 per dataset with the ablated variant.
+	Ablated [3]float64
+}
+
+// ablationSpec describes how to derive the ablated option set.
+type ablationSpec struct {
+	name  string
+	apply func(*core.Options)
+}
+
+var ablationSpecs = []ablationSpec{
+	{"alpha=1 (linear transition, Eq. 11 off)", func(o *core.Options) { o.Alpha = 1 }},
+	{"no target bonus (Eq. 12 off)", func(o *core.Options) { o.DisableBonus = true }},
+	{"no early-stop mask (⊙ M_n off)", func(o *core.Options) { o.DisableMask = true }},
+	{"no P_t denominator (Eq. 6 degraded)", func(o *core.Options) { o.DisableDenominator = true }},
+	{"single fusion round (no reinforcement)", func(o *core.Options) { o.FusionIterations = 1 }},
+	{"L2 weight normalization (§V-C alternative)", func(o *core.Options) { o.Normalization = core.NormL2 }},
+}
+
+// RunAblations evaluates every ablation on every replica.
+func RunAblations(cfg Config) []AblationResult {
+	results := make([]AblationResult, len(ablationSpecs))
+	for i, spec := range ablationSpecs {
+		results[i].Name = spec.name
+	}
+	for di, name := range AllDatasets {
+		p := cfg.Pipeline(name)
+		full := runFusionF1(p, nil)
+		for i, spec := range ablationSpecs {
+			results[i].Full[di] = full
+			results[i].Ablated[di] = runFusionF1(p, spec.apply)
+		}
+	}
+	return results
+}
+
+// runFusionF1 executes the fusion loop on a pipeline's internal structures
+// with optionally modified core options and returns the resulting F1.
+func runFusionF1(p *er.Pipeline, modify func(*core.Options)) float64 {
+	_, g := p.Internals()
+	opts := p.CoreOptions()
+	if modify != nil {
+		modify(&opts)
+	}
+	res := core.RunFusion(g, g.NumRecords, opts)
+	if m, ok := p.EvaluateMatches(res.Matches); ok {
+		return m.F1
+	}
+	return 0
+}
+
+// RenderAblations formats the ablation study.
+func RenderAblations(results []AblationResult) string {
+	header := []string{"Ablation", "Restaurant", "Product", "Paper"}
+	var rows [][]string
+	cell := func(full, ablated float64) string {
+		return f3(ablated) + " (full " + f3(full) + ")"
+	}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			cell(r.Full[0], r.Ablated[0]),
+			cell(r.Full[1], r.Ablated[1]),
+			cell(r.Full[2], r.Ablated[2]),
+		})
+	}
+	return "Ablations — F1 with one design choice disabled\n" + renderTable(header, rows)
+}

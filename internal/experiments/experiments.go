@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VII) on the three benchmark replicas. It is the
+// engine behind cmd/erbench and the root-level benchmark suite.
+//
+// All experiments run with the universal parameter setting of §VII-C via
+// er.DefaultOptions (α = 20, S = 20, η = 0.98, 5 fusion iterations) so the
+// harness exercises exactly the configuration the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// DatasetName identifies one of the three benchmark replicas.
+type DatasetName string
+
+// The benchmark replicas, in the paper's column order.
+const (
+	Restaurant DatasetName = "Restaurant"
+	Product    DatasetName = "Product"
+	Paper      DatasetName = "Paper"
+)
+
+// AllDatasets lists the replicas in Table II column order.
+var AllDatasets = []DatasetName{Restaurant, Product, Paper}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives replica generation and the pipeline.
+	Seed int64
+	// Scale multiplies the published dataset sizes (1.0 = paper size).
+	Scale float64
+	// Options are the pipeline parameters; zero value means
+	// er.DefaultOptions.
+	Options *er.Options
+}
+
+// DefaultConfig runs at paper scale with the universal parameters.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 1.0} }
+
+func (c Config) options() er.Options {
+	if c.Options != nil {
+		return *c.Options
+	}
+	o := er.DefaultOptions()
+	o.Seed = c.Seed
+	return o
+}
+
+// Dataset generates the named replica.
+func (c Config) Dataset(name DatasetName) *er.Dataset {
+	cfg := er.ReplicaConfig{Seed: c.Seed, Scale: c.Scale}
+	switch name {
+	case Restaurant:
+		return er.RestaurantReplica(cfg)
+	case Product:
+		return er.ProductReplica(cfg)
+	case Paper:
+		return er.PaperReplica(cfg)
+	}
+	panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+}
+
+// Pipeline builds the standard pipeline for the named replica.
+func (c Config) Pipeline(name DatasetName) *er.Pipeline {
+	return er.NewPipeline(c.Dataset(name), c.options())
+}
+
+// Cell is one measured value with the corresponding published value (NaN
+// when the original paper did not report it).
+type Cell struct {
+	Measured, Published float64
+}
+
+// renderTable formats rows of labeled columns into an aligned text table.
+func renderTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for pad := len(cell); pad < width[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}
+
+func f1x(v float64) string {
+	if v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}
+
+func fmtInt(v int) string { return fmt.Sprintf("%d", v) }

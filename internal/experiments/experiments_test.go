@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests run at a small scale so the whole suite stays quick; the full-scale
+// numbers are produced by cmd/erbench and recorded in EXPERIMENTS.md.
+func testConfig() Config { return Config{Seed: 1, Scale: 0.15} }
+
+func TestConfigDatasets(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range AllDatasets {
+		d := cfg.Dataset(name)
+		if d.NumRecords() == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+		if !d.HasGroundTruth() {
+			t.Errorf("%s: replicas must carry ground truth", name)
+		}
+	}
+}
+
+func TestConfigUnknownDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown dataset")
+		}
+	}()
+	testConfig().Dataset("Nope")
+}
+
+func TestRunTable2(t *testing.T) {
+	res := RunTable2(testConfig())
+	if len(res.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(res.Rows))
+	}
+	implemented := 0
+	for _, row := range res.Rows {
+		if !row.Backend {
+			if !math.IsNaN(row.Product.Measured) {
+				t.Errorf("%s: reported-only row must have NaN measured value", row.Method)
+			}
+			continue
+		}
+		implemented++
+		for _, cell := range []Cell{row.Restaurant, row.Product, row.Paper} {
+			if math.IsNaN(cell.Measured) || cell.Measured < 0 || cell.Measured > 1 {
+				t.Errorf("%s: measured F1 %v out of range", row.Method, cell.Measured)
+			}
+		}
+	}
+	if implemented != 6 {
+		t.Errorf("implemented rows = %d, want 6", implemented)
+	}
+	fusion := res.Row("ITER+CliqueRank")
+	simrank := res.Row("SimRank")
+	if fusion == nil || simrank == nil {
+		t.Fatal("missing rows")
+	}
+	// Shape check on the Product column (the paper's headline): the fusion
+	// framework must beat the naive SimRank baseline.
+	if fusion.Product.Measured <= simrank.Product.Measured {
+		t.Errorf("fusion %.3f must beat SimRank %.3f on Product",
+			fusion.Product.Measured, simrank.Product.Measured)
+	}
+	out := res.Render()
+	for _, want := range []string{"Table II", "CrowdER", "(reported)", "ITER+CliqueRank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	res := RunTable3(testConfig())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GraphNodes == 0 || row.GraphEdges == 0 {
+			t.Errorf("%s: empty record graph", row.Dataset)
+		}
+		if row.TotalTime <= 0 || row.ITERTime <= 0 || row.CliqueRankTime <= 0 {
+			t.Errorf("%s: missing timings %+v", row.Dataset, row)
+		}
+		if row.Speedup <= 1 {
+			t.Errorf("%s: CliqueRank should be faster than RSS, speedup %.2f", row.Dataset, row.Speedup)
+		}
+	}
+	if !strings.Contains(res.Render(), "Speedup vs RSS") {
+		t.Error("render output missing speedup row")
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	res := RunTable4(testConfig())
+	for di, name := range AllDatasets {
+		iter := res.ITER[di].Measured
+		pr := res.PageRank[di].Measured
+		if iter <= pr {
+			t.Errorf("%s: ITER rho %.3f must exceed PageRank rho %.3f", name, iter, pr)
+		}
+		if iter < -1 || iter > 1 || pr < -1 || pr > 1 {
+			t.Errorf("%s: rho out of [-1,1]", name)
+		}
+	}
+	if !strings.Contains(res.Render(), "Spearman") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	res := RunTable5(testConfig())
+	if len(res.Iterations) != 5 {
+		t.Fatalf("iterations = %d, want 5", len(res.Iterations))
+	}
+	for di := range AllDatasets {
+		prev := time.Duration(0)
+		for _, it := range res.Iterations {
+			f1 := it.F1[di].Measured
+			if f1 < 0 || f1 > 1 {
+				t.Errorf("iteration %d dataset %d: F1 %v", it.Iteration, di, f1)
+			}
+			if it.Time[di] < prev {
+				t.Errorf("iteration %d dataset %d: cumulative time decreased", it.Iteration, di)
+			}
+			prev = it.Time[di]
+		}
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	res := RunFigure4(testConfig())
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		front, back := s.FrontBackMeans()
+		if front <= back {
+			t.Errorf("%s: top decile %f must exceed bottom decile %f", s.Dataset, front, back)
+		}
+		csv := s.CSV()
+		if !strings.HasPrefix(csv, "rank,score\n") {
+			t.Errorf("%s: bad csv header", s.Dataset)
+		}
+		if strings.Count(csv, "\n") != len(s.Scores)+1 {
+			t.Errorf("%s: csv row count mismatch", s.Dataset)
+		}
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	res := RunFigure5(testConfig())
+	for _, s := range res.Series {
+		if len(s.Updates) == 0 {
+			t.Fatalf("%s: empty trace", s.Dataset)
+		}
+		peak, last := 0.0, s.Updates[len(s.Updates)-1]
+		for _, v := range s.Updates {
+			if v > peak {
+				peak = v
+			}
+		}
+		// Figure 5 shape: sharp peak, decayed tail.
+		if last >= peak {
+			t.Errorf("%s: no convergence decay (peak %f, last %f)", s.Dataset, peak, last)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	res := RunAblations(testConfig())
+	if len(res) != 6 {
+		t.Fatalf("ablations = %d, want 6", len(res))
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	// The linear-walk ablation must hurt at least one dataset noticeably.
+	lin := byName["alpha=1 (linear transition, Eq. 11 off)"]
+	hurt := false
+	for di := range AllDatasets {
+		if lin.Ablated[di] < lin.Full[di]-0.05 {
+			hurt = true
+		}
+	}
+	if !hurt {
+		t.Errorf("linear-walk ablation had no effect: %+v", lin)
+	}
+	out := RenderAblations(res)
+	if !strings.Contains(out, "Ablations") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := renderTable([]string{"A", "LongHeader"}, [][]string{{"xxxxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator not aligned with header")
+	}
+}
+
+func TestRunExtended(t *testing.T) {
+	rows := RunExtended(testConfig())
+	if len(rows) != 3 {
+		t.Fatalf("extended rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		for di, f1 := range r.F1 {
+			if f1 <= 0 || f1 > 1 {
+				t.Errorf("%s dataset %d: F1 %g out of range", r.Method, di, f1)
+			}
+		}
+	}
+	if !strings.Contains(RenderExtended(rows), "SoftTFIDF") {
+		t.Error("render missing method name")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	points := RunScaling(Config{Seed: 1, Scale: 1}, []int{10, 20})
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if points[1].Nodes <= points[0].Nodes || points[1].Edges <= points[0].Edges {
+		t.Errorf("graph must grow with scale: %+v", points)
+	}
+	if points[0].SumDegSq <= 0 || points[0].CliqueRank <= 0 {
+		t.Errorf("missing measurements: %+v", points[0])
+	}
+	if !strings.Contains(RenderScaling(points), "Scaling") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunBlockingStudy(t *testing.T) {
+	points := RunBlockingStudy(Config{Seed: 1, Scale: 0.1})
+	if len(points) != 9 {
+		t.Fatalf("points = %d, want 3 datasets x 3 rules", len(points))
+	}
+	// Within a dataset, tightening the rule must not grow the candidate
+	// set and must not raise blocking recall.
+	for d := 0; d < 3; d++ {
+		base := points[d*3]
+		for r := 1; r < 3; r++ {
+			p := points[d*3+r]
+			if p.Candidates > base.Candidates {
+				t.Errorf("%s: rule %q grew candidates %d -> %d", p.Dataset, p.Rule, base.Candidates, p.Candidates)
+			}
+			if p.Recall > base.Recall+1e-9 {
+				t.Errorf("%s: rule %q raised blocking recall", p.Dataset, p.Rule)
+			}
+		}
+	}
+	if !strings.Contains(RenderBlockingStudy(points), "Blocking study") {
+		t.Error("render missing title")
+	}
+}

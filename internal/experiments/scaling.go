@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ScalingPoint is one measurement of the complexity study: graph size and
+// per-call CliqueRank / RSS-extrapolated cost at one replica scale.
+type ScalingPoint struct {
+	Scale int // percent of the published dataset size
+	Nodes int
+	Edges int
+	// SumDegSq is Σ_i deg(i)², the masked-product work bound per CliqueRank
+	// step (§VI-C complexity analysis; the dense formulation is O(n³)).
+	SumDegSq int64
+	// CliqueRank is the measured wall-clock of one CliqueRank call.
+	CliqueRank time.Duration
+	// RSSPerEdge is the measured per-edge RSS sampling cost.
+	RSSPerEdge time.Duration
+}
+
+// RunScaling sweeps the Paper replica (the densest graph) across scales and
+// measures how CliqueRank's cost tracks the Σ deg² bound rather than n³ —
+// the quantitative backing for replacing the paper's Eigen-based dense
+// chain with the masked sparse product.
+func RunScaling(cfg Config, scales []int) []ScalingPoint {
+	if len(scales) == 0 {
+		scales = []int{20, 40, 60, 80, 100}
+	}
+	var out []ScalingPoint
+	for _, pct := range scales {
+		sub := cfg
+		sub.Scale = cfg.Scale * float64(pct) / 100
+		p := sub.Pipeline(Paper)
+		_, g := p.Internals()
+		opts := p.CoreOptions()
+		iter := core.RunITER(g, ones(g.NumPairs()), opts, rand.New(rand.NewSource(opts.Seed)))
+		rg := core.BuildRecordGraph(g, iter.S, g.NumRecords)
+
+		var sumDegSq int64
+		for i := 0; i < rg.Pattern.N; i++ {
+			d := int64(rg.Pattern.Degree(i))
+			sumDegSq += d * d
+		}
+
+		start := time.Now()
+		core.CliqueRank(rg, opts)
+		crTime := time.Since(start)
+
+		sample := rg.NumEdges()
+		if sample > rssSampleEdges {
+			sample = rssSampleEdges
+		}
+		var perEdge time.Duration
+		if sample > 0 {
+			positions := rand.New(rand.NewSource(opts.Seed)).Perm(rg.NumEdges())[:sample]
+			start = time.Now()
+			core.RSSOnEdges(rg, opts, positions)
+			perEdge = time.Since(start) / time.Duration(sample)
+		}
+		out = append(out, ScalingPoint{
+			Scale:      pct,
+			Nodes:      rg.NumNodes(),
+			Edges:      rg.NumEdges(),
+			SumDegSq:   sumDegSq,
+			CliqueRank: crTime,
+			RSSPerEdge: perEdge,
+		})
+	}
+	return out
+}
+
+// ones returns a probability vector initialized to 1 (the first-iteration
+// edge weight of the bipartite graph).
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// RenderScaling formats the study.
+func RenderScaling(points []ScalingPoint) string {
+	header := []string{"Scale", "Nodes", "Edges", "Σ deg²", "CliqueRank", "RSS/edge"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmtInt(p.Scale) + "%",
+			fmtInt(p.Nodes),
+			fmtInt(p.Edges),
+			fmtInt(int(p.SumDegSq)),
+			dur(p.CliqueRank),
+			p.RSSPerEdge.String(),
+		})
+	}
+	return "Scaling — CliqueRank cost vs masked-product work bound (Paper replica)\n" +
+		renderTable(header, rows)
+}

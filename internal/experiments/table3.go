@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Table3Row reproduces one Table III column: record-graph size, running
+// time and the CliqueRank-over-RSS speedup for one dataset.
+type Table3Row struct {
+	Dataset    DatasetName
+	GraphNodes int
+	GraphEdges int
+	// TotalTime is the full 5-round fusion wall-clock time.
+	TotalTime time.Duration
+	// ITERTime is the part spent in the ITER inner loops.
+	ITERTime time.Duration
+	// CliqueRankTime is the part spent in CliqueRank.
+	CliqueRankTime time.Duration
+	// RSSEstimate extrapolates the cost of replacing every CliqueRank call
+	// with full RSS sampling, measured on a sample of edges (running RSS
+	// exhaustively on dense graphs is exactly what the paper shows to be
+	// impractical — its published speedup on Paper is 60x).
+	RSSEstimate time.Duration
+	// Speedup is RSSEstimate / CliqueRankTime.
+	Speedup float64
+	// PublishedSpeedup is the paper's Table III value.
+	PublishedSpeedup float64
+}
+
+// Table3Result reproduces Table III.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// rssSampleEdges bounds the number of edges used to estimate the per-edge
+// RSS cost.
+const rssSampleEdges = 400
+
+// RunTable3 replays the fusion loop with per-phase timing and estimates the
+// RSS cost on each dataset's final record graph.
+func RunTable3(cfg Config) *Table3Result {
+	res := &Table3Result{}
+	published := map[DatasetName]float64{Restaurant: 1.3, Product: 1.5, Paper: 60}
+	for _, name := range AllDatasets {
+		p := cfg.Pipeline(name)
+		_, g := p.Internals()
+		opts := p.CoreOptions()
+		rng := rand.New(rand.NewSource(opts.Seed))
+
+		row := Table3Row{Dataset: name, PublishedSpeedup: published[name]}
+		prob := make([]float64, g.NumPairs())
+		for k := range prob {
+			prob[k] = 1
+		}
+		var rg *core.RecordGraph
+		start := time.Now()
+		for it := 0; it < opts.FusionIterations; it++ {
+			t0 := time.Now()
+			iter := core.RunITER(g, prob, opts, rng)
+			row.ITERTime += time.Since(t0)
+
+			rg = core.BuildRecordGraph(g, iter.S, g.NumRecords)
+			t0 = time.Now()
+			prob = core.CliqueRank(rg, opts)
+			row.CliqueRankTime += time.Since(t0)
+		}
+		row.TotalTime = time.Since(start)
+		row.GraphNodes = rg.NumNodes()
+		row.GraphEdges = rg.NumEdges()
+
+		// Estimate RSS on a sample of the final graph's edges, then
+		// extrapolate to all edges and all fusion iterations.
+		sample := rg.NumEdges()
+		if sample > rssSampleEdges {
+			sample = rssSampleEdges
+		}
+		if sample > 0 {
+			positions := make([]int, sample)
+			perm := rand.New(rand.NewSource(opts.Seed)).Perm(rg.NumEdges())
+			copy(positions, perm[:sample])
+			t0 := time.Now()
+			core.RSSOnEdges(rg, opts, positions)
+			perEdge := time.Since(t0) / time.Duration(sample)
+			row.RSSEstimate = perEdge * time.Duration(rg.NumEdges()*opts.FusionIterations)
+			if row.CliqueRankTime > 0 {
+				row.Speedup = float64(row.RSSEstimate) / float64(row.CliqueRankTime)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the result in the paper's row layout.
+func (t *Table3Result) Render() string {
+	header := []string{"Metric"}
+	for _, r := range t.Rows {
+		header = append(header, string(r.Dataset))
+	}
+	metric := func(label string, get func(Table3Row) string) []string {
+		row := []string{label}
+		for _, r := range t.Rows {
+			row = append(row, get(r))
+		}
+		return row
+	}
+	rows := [][]string{
+		metric("Nodes in G_r", func(r Table3Row) string { return itoa(r.GraphNodes) }),
+		metric("Edges in G_r", func(r Table3Row) string { return itoa(r.GraphEdges) }),
+		metric("Total running time", func(r Table3Row) string { return dur(r.TotalTime) }),
+		metric("Running time for ITER", func(r Table3Row) string { return dur(r.ITERTime) }),
+		metric("Running time for CliqueRank", func(r Table3Row) string { return dur(r.CliqueRankTime) }),
+		metric("Estimated RSS time", func(r Table3Row) string { return dur(r.RSSEstimate) }),
+		metric("Speedup vs RSS (published)", func(r Table3Row) string {
+			return f1x(r.Speedup) + " (" + f1x(r.PublishedSpeedup) + ")"
+		}),
+	}
+	return "Table III — efficiency of ITER+CliqueRank\n" + renderTable(header, rows)
+}
+
+func itoa(v int) string { return fmtInt(v) }

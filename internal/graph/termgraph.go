@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// TermGraph is the undirected term co-occurrence graph of the TextRank /
+// TW-IDF baseline (§III-B): nodes are terms and an edge connects two terms
+// that co-occur within a fixed-size sliding window in some record.
+type TermGraph struct {
+	// Adj holds, per term, its sorted distinct neighbor term IDs.
+	Adj [][]int32
+}
+
+// NewTermGraph slides a window of the given size over every record's token
+// sequence and connects all distinct term pairs inside the window. Window
+// sizes below 2 are treated as 2 (a window of one token has no pairs).
+func NewTermGraph(c *textproc.Corpus, window int) *TermGraph {
+	if window < 2 {
+		window = 2
+	}
+	sets := make([]map[int32]struct{}, c.NumTerms())
+	link := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if sets[a] == nil {
+			sets[a] = make(map[int32]struct{})
+		}
+		if sets[b] == nil {
+			sets[b] = make(map[int32]struct{})
+		}
+		sets[a][b] = struct{}{}
+		sets[b][a] = struct{}{}
+	}
+	for _, seq := range c.Seqs {
+		for i := range seq {
+			end := i + window
+			if end > len(seq) {
+				end = len(seq)
+			}
+			for j := i + 1; j < end; j++ {
+				link(seq[i], seq[j])
+			}
+		}
+	}
+	g := &TermGraph{Adj: make([][]int32, c.NumTerms())}
+	for t, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		nbrs := make([]int32, 0, len(set))
+		for n := range set {
+			nbrs = append(nbrs, n)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		g.Adj[t] = nbrs
+	}
+	return g
+}
+
+// NumTerms returns the node count.
+func (g *TermGraph) NumTerms() int { return len(g.Adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *TermGraph) NumEdges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n / 2
+}
+
+// Degree returns the degree of term t.
+func (g *TermGraph) Degree(t int) int { return len(g.Adj[t]) }

@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between nodes I < J.
+type Edge struct {
+	I, J int32
+}
+
+// Pattern is a fixed symmetric sparsity pattern over n nodes. CliqueRank's
+// recurrence Mᵏ = M_t × (Mᵏ⁻¹ ⊙ M_n) keeps every iterate supported on the
+// record-graph adjacency M_n, so all matrices in the chain share one
+// Pattern and differ only in their per-slot values. A "slot" is the storage
+// index of one directed entry (i, j).
+type Pattern struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	// tIdx[k] is the slot of (j, i) when slot k stores (i, j). It lets a
+	// transpose be a single permutation pass.
+	tIdx []int32
+}
+
+// NewPattern builds the symmetric pattern from undirected edges. Self loops
+// and duplicates are rejected because the record graph has neither.
+func NewPattern(n int, edges []Edge) *Pattern {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.I == e.J {
+			panic(fmt.Sprintf("matrix: self loop %d", e.I))
+		}
+		if e.I < 0 || int(e.I) >= n || e.J < 0 || int(e.J) >= n {
+			panic(fmt.Sprintf("matrix: edge (%d,%d) out of range n=%d", e.I, e.J, n))
+		}
+		deg[e.I]++
+		deg[e.J]++
+	}
+	p := &Pattern{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		p.RowPtr[i+1] = p.RowPtr[i] + deg[i]
+	}
+	nnz := p.RowPtr[n]
+	p.Col = make([]int32, nnz)
+	p.tIdx = make([]int32, nnz)
+	fill := make([]int32, n)
+	copy(fill, p.RowPtr[:n])
+	for _, e := range edges {
+		p.Col[fill[e.I]] = e.J
+		fill[e.I]++
+		p.Col[fill[e.J]] = e.I
+		fill[e.J]++
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := p.RowPtr[i], p.RowPtr[i+1]
+		row := p.Col[lo:hi]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for k := 1; k < len(row); k++ {
+			if row[k] == row[k-1] {
+				panic(fmt.Sprintf("matrix: duplicate edge (%d,%d)", i, row[k]))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			j := p.Col[k]
+			p.tIdx[k] = int32(p.Slot(int(j), i))
+		}
+	}
+	return p
+}
+
+// NNZ returns the number of directed slots (2× the undirected edge count).
+func (p *Pattern) NNZ() int { return len(p.Col) }
+
+// Degree returns the number of neighbors of node i.
+func (p *Pattern) Degree(i int) int { return int(p.RowPtr[i+1] - p.RowPtr[i]) }
+
+// Neighbors returns the sorted neighbor list of node i.
+func (p *Pattern) Neighbors(i int) []int32 { return p.Col[p.RowPtr[i]:p.RowPtr[i+1]] }
+
+// Slot returns the storage index of entry (i, j), or -1 when (i, j) is not
+// in the pattern.
+func (p *Pattern) Slot(i, j int) int {
+	lo, hi := p.RowPtr[i], p.RowPtr[i+1]
+	row := p.Col[lo:hi]
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return int(lo) + k
+	}
+	return -1
+}
+
+// Has reports whether nodes i and j are adjacent.
+func (p *Pattern) Has(i, j int) bool { return p.Slot(i, j) >= 0 }
+
+// PatVec is a matrix whose support is exactly a Pattern: Val[k] is the value
+// of the directed entry whose coordinates slot k encodes.
+type PatVec struct {
+	P   *Pattern
+	Val []float64
+}
+
+// NewPatVec allocates a zero matrix on the pattern.
+func NewPatVec(p *Pattern) *PatVec { return &PatVec{P: p, Val: make([]float64, p.NNZ())} }
+
+// Clone deep-copies the values (the pattern is shared).
+func (v *PatVec) Clone() *PatVec {
+	out := NewPatVec(v.P)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// Transpose permutes values so that out[(i,j)] = v[(j,i)].
+func (v *PatVec) Transpose() *PatVec {
+	out := NewPatVec(v.P)
+	for k, t := range v.P.tIdx {
+		out.Val[k] = v.Val[t]
+	}
+	return out
+}
+
+// RowSlice returns the neighbor columns and values of row i.
+func (v *PatVec) RowSlice(i int) ([]int32, []float64) {
+	lo, hi := v.P.RowPtr[i], v.P.RowPtr[i+1]
+	return v.P.Col[lo:hi], v.Val[lo:hi]
+}
+
+// At returns the value at (i, j), zero when outside the pattern.
+func (v *PatVec) At(i, j int) float64 {
+	if s := v.P.Slot(i, j); s >= 0 {
+		return v.Val[s]
+	}
+	return 0
+}
+
+// ToDense expands to a dense matrix (tests, small graphs).
+func (v *PatVec) ToDense() *Dense {
+	d := NewDense(v.P.N, v.P.N)
+	for i := 0; i < v.P.N; i++ {
+		cols, vals := v.RowSlice(i)
+		row := d.Row(i)
+		for k, c := range cols {
+			row[c] = vals[k]
+		}
+	}
+	return d
+}
+
+// MaskedMul computes (mt × a) ⊙ pattern, i.e. the CliqueRank step
+// Aᵏ = (M_t × Aᵏ⁻¹) ⊙ M_n, without ever materializing the full product.
+// at must be a.Transpose(); passing it explicitly lets callers reuse one
+// transpose per step. For each pattern entry (i, j) the result is the sparse
+// dot product of row i of mt with row j of at (= column j of a), an
+// O(deg(i)+deg(j)) merge.
+func MaskedMul(mt, at *PatVec) *PatVec {
+	if mt.P != at.P {
+		panic("matrix: MaskedMul requires operands on the same pattern")
+	}
+	p := mt.P
+	out := NewPatVec(p)
+	parallelRows(p.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mtCols, mtVals := mt.RowSlice(i)
+			if len(mtCols) == 0 {
+				continue
+			}
+			for s := p.RowPtr[i]; s < p.RowPtr[i+1]; s++ {
+				j := p.Col[s]
+				atCols, atVals := at.RowSlice(int(j))
+				out.Val[s] = sparseDot(mtCols, mtVals, atCols, atVals)
+			}
+		}
+	})
+	return out
+}
+
+// AddScaled accumulates v += s·w in place.
+func (v *PatVec) AddScaled(w *PatVec, s float64) {
+	if v.P != w.P {
+		panic("matrix: AddScaled requires operands on the same pattern")
+	}
+	for k, x := range w.Val {
+		v.Val[k] += s * x
+	}
+}

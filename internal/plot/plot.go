@@ -1,0 +1,168 @@
+// Package plot renders minimal, dependency-free SVG charts for the
+// Figure 4/5 reproductions: a scatter plot of score(t) against weight rank
+// and a line plot of the ITER convergence trace. The goal is "inspectable
+// output without leaving the repository", not a charting library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Radius float64 // point radius for scatter; stroke width for line
+}
+
+// Config controls the chart geometry.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 640
+	}
+	if c.Height == 0 {
+		c.Height = 400
+	}
+	return c
+}
+
+const (
+	marginLeft   = 60
+	marginRight  = 20
+	marginTop    = 36
+	marginBottom = 48
+)
+
+// palette cycles per series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+// Scatter renders the series as an SVG scatter plot.
+func Scatter(cfg Config, series ...Series) string {
+	return render(cfg.withDefaults(), false, series)
+}
+
+// Line renders the series as an SVG line plot.
+func Line(cfg Config, series ...Series) string {
+	return render(cfg.withDefaults(), true, series)
+}
+
+func render(cfg Config, line bool, series []Series) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX { // no points at all
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	plotW := float64(cfg.Width - marginLeft - marginRight)
+	plotH := float64(cfg.Height - marginTop - marginBottom)
+	sx := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`,
+		cfg.Width, cfg.Height)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`, cfg.Width, cfg.Height)
+	sb.WriteByte('\n')
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, cfg.Height-marginBottom, cfg.Width-marginRight, cfg.Height-marginBottom)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, marginTop, marginLeft, cfg.Height-marginBottom)
+	sb.WriteByte('\n')
+
+	// Tick labels: min and max on each axis.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+		marginLeft, cfg.Height-marginBottom+16, trimNum(minX))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+		cfg.Width-marginRight, cfg.Height-marginBottom+16, trimNum(maxX))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`,
+		marginLeft-6, cfg.Height-marginBottom+4, trimNum(minY))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`,
+		marginLeft-6, marginTop+4, trimNum(maxY))
+	sb.WriteByte('\n')
+
+	// Title and axis labels.
+	if cfg.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="14" text-anchor="middle">%s</text>`,
+			cfg.Width/2, 20, escape(cfg.Title))
+	}
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+			cfg.Width/2, cfg.Height-10, escape(cfg.XLabel))
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+			cfg.Height/2, cfg.Height/2, escape(cfg.YLabel))
+	}
+	sb.WriteByte('\n')
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		if line {
+			width := s.Radius
+			if width == 0 {
+				width = 1.5
+			}
+			var points []string
+			for i := range s.X {
+				points = append(points, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+			}
+			fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="%.1f" points="%s"/>`,
+				color, width, strings.Join(points, " "))
+		} else {
+			r := s.Radius
+			if r == 0 {
+				r = 2
+			}
+			for i := range s.X {
+				fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.6"/>`,
+					sx(s.X[i]), sy(s.Y[i]), r, color)
+			}
+		}
+		sb.WriteByte('\n')
+		// Legend entry.
+		lx, ly := cfg.Width-marginRight-130, marginTop+16*si+4
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly-9, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+14, ly, escape(s.Name))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

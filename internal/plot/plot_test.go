@@ -1,0 +1,56 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterWellFormed(t *testing.T) {
+	svg := Scatter(Config{Title: "t", XLabel: "x", YLabel: "y"},
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 0.5}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	for _, want := range []string{"<svg", "</svg>", "circle", "t</text>", `fill="#1f77b4"`, `fill="#d62728"`} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("scatter SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 5 {
+		t.Errorf("circles = %d, want 5", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestLineWellFormed(t *testing.T) {
+	svg := Line(Config{}, Series{Name: "trace", X: []float64{1, 2, 3}, Y: []float64{9, 3, 1}})
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("line SVG missing polyline")
+	}
+	if !strings.Contains(svg, "points=") {
+		t.Error("polyline missing points")
+	}
+}
+
+func TestEmptySeriesDoesNotPanic(t *testing.T) {
+	svg := Scatter(Config{}, Series{Name: "empty"})
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart must still be well-formed")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by zero.
+	svg := Line(Config{}, Series{Name: "c", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}})
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate ranges produced non-finite coordinates")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg := Scatter(Config{Title: "a<b & c>d"}, Series{Name: "s", X: []float64{0}, Y: []float64{0}})
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Error("escaped title missing")
+	}
+}

@@ -1,0 +1,192 @@
+package similarity
+
+// Character-based string metrics (§II-A family). These are not used by the
+// fusion framework itself but complete the library's distance-based
+// baseline coverage and power the Monge-Elkan field matcher.
+
+// Levenshtein returns the edit distance between a and b with unit costs for
+// insertion, deletion and substitution. It runs in O(len(a)·len(b)) time and
+// O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalizes edit distance into a similarity in [0, 1]:
+// 1 − dist/max(len). Two empty strings are defined as similarity 1.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity in [0, 1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix of
+// up to 4 runes, with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// MongeElkan computes the field-matching similarity of Monge & Elkan
+// (paper ref [1]): the average over tokens of a of the best inner-metric
+// similarity against any token of b.
+func MongeElkan(a, b []string, inner func(string, string) float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := inner(ta, tb); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}
+
+// Dice returns the Sørensen–Dice coefficient of two token sets.
+func Dice(a, b []string) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(intersectStrings(a, b)) / float64(len(dedup(a))+len(dedup(b)))
+}
+
+// Overlap returns the overlap coefficient |A∩B| / min(|A|, |B|).
+func Overlap(a, b []string) float64 {
+	da, db := dedup(a), dedup(b)
+	if len(da) == 0 || len(db) == 0 {
+		return 0
+	}
+	m := len(da)
+	if len(db) < m {
+		m = len(db)
+	}
+	return float64(intersectStrings(a, b)) / float64(m)
+}
+
+func dedup(a []string) map[string]struct{} {
+	s := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+func intersectStrings(a, b []string) int {
+	sa := dedup(a)
+	n := 0
+	for x := range dedup(b) {
+		if _, ok := sa[x]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

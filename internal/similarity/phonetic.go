@@ -1,0 +1,120 @@
+package similarity
+
+import "strings"
+
+// Phonetic encodings for name matching — the classic record-linkage
+// companions of the §II-A string metrics. Two name variants that sound
+// alike ("Smith"/"Smyth") map to the same code even when their edit
+// distance is non-trivial.
+
+// soundexCode maps a letter to its Soundex digit, or 0 for vowels and the
+// ignored letters h/w/y.
+func soundexCode(r byte) byte {
+	switch r {
+	case 'b', 'f', 'p', 'v':
+		return '1'
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return '2'
+	case 'd', 't':
+		return '3'
+	case 'l':
+		return '4'
+	case 'm', 'n':
+		return '5'
+	case 'r':
+		return '6'
+	}
+	return 0
+}
+
+// Soundex returns the American Soundex code of a word: the first letter
+// followed by three digits (zero-padded). Non-ASCII-letter runes are
+// skipped; an empty or letterless input encodes as "".
+//
+// The classic subtleties are honoured: doubled consonants collapse, letters
+// separated by h or w collapse, and letters separated by a vowel do not.
+func Soundex(word string) string {
+	word = strings.ToLower(word)
+	// First letter.
+	idx := 0
+	for idx < len(word) && (word[idx] < 'a' || word[idx] > 'z') {
+		idx++
+	}
+	if idx == len(word) {
+		return ""
+	}
+	first := word[idx]
+	out := []byte{first - 'a' + 'A'}
+	lastCode := soundexCode(first)
+	for i := idx + 1; i < len(word) && len(out) < 4; i++ {
+		ch := word[i]
+		if ch < 'a' || ch > 'z' {
+			continue
+		}
+		code := soundexCode(ch)
+		switch {
+		case code == 0:
+			if ch == 'h' || ch == 'w' {
+				continue // h/w do not reset the previous code
+			}
+			lastCode = 0 // vowels reset, allowing repeats across them
+		case code != lastCode:
+			out = append(out, code)
+			lastCode = code
+		}
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexEqual reports whether two words share a Soundex code.
+func SoundexEqual(a, b string) bool {
+	ca, cb := Soundex(a), Soundex(b)
+	return ca != "" && ca == cb
+}
+
+// QGrams returns the padded character q-grams of a word, the
+// representation behind q-gram string joins: "smith" with q=2 and padding
+// '#' yields #s, sm, mi, it, th, h#. q < 2 is treated as 2.
+func QGrams(word string, q int) []string {
+	if q < 2 {
+		q = 2
+	}
+	if word == "" {
+		return nil
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := pad + strings.ToLower(word) + pad
+	runes := []rune(padded)
+	if len(runes) < q {
+		return []string{string(runes)}
+	}
+	out := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		out = append(out, string(runes[i:i+q]))
+	}
+	return out
+}
+
+// QGramSim returns the Dice similarity of two words' q-gram multisets —
+// a typo-tolerant alternative to exact token equality.
+func QGramSim(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ga))
+	for _, g := range ga {
+		counts[g]++
+	}
+	inter := 0
+	for _, g := range gb {
+		if counts[g] > 0 {
+			counts[g]--
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(ga)+len(gb))
+}

@@ -1,0 +1,123 @@
+package similarity
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexKnownCodes(t *testing.T) {
+	// Canonical examples from the Soundex specification.
+	tests := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // h does not separate s and c
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"}, // cz collapses, vowel separates
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"Smith", "S530"},
+		{"Smyth", "S530"},
+		{"Washington", "W252"},
+		{"Lee", "L000"},
+		{"Gutierrez", "G362"},
+		{"Jackson", "J250"},
+	}
+	for _, tc := range tests {
+		if got := Soundex(tc.in); got != tc.want {
+			t.Errorf("Soundex(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSoundexEdgeCases(t *testing.T) {
+	if Soundex("") != "" {
+		t.Error("empty word must encode empty")
+	}
+	if Soundex("123") != "" {
+		t.Error("letterless word must encode empty")
+	}
+	if got := Soundex("a"); got != "A000" {
+		t.Errorf("Soundex(a) = %q, want A000", got)
+	}
+	if Soundex("SMITH") != Soundex("smith") {
+		t.Error("Soundex must be case-insensitive")
+	}
+}
+
+func TestSoundexEqual(t *testing.T) {
+	if !SoundexEqual("Smith", "Smyth") {
+		t.Error("Smith/Smyth must sound alike")
+	}
+	if SoundexEqual("Smith", "Jones") {
+		t.Error("Smith/Jones must differ")
+	}
+	if SoundexEqual("", "") {
+		t.Error("empty words must not be considered equal")
+	}
+}
+
+func TestSoundexShapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for _, c := range code[1:] {
+			if c < '0' || c > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 2)
+	want := []string{"#a", "ab", "b#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams(ab, 2) = %v, want %v", got, want)
+	}
+	if QGrams("", 2) != nil {
+		t.Error("empty word must have no q-grams")
+	}
+	if got := QGrams("a", 3); len(got) != 3 {
+		t.Errorf("QGrams(a,3) = %v, want 3 padded trigrams", got)
+	}
+}
+
+func TestQGramSim(t *testing.T) {
+	if got := QGramSim("smith", "smith", 2); got != 1 {
+		t.Errorf("identical words = %g, want 1", got)
+	}
+	typo := QGramSim("delicatessen", "delicatessan", 2)
+	if typo < 0.7 || typo >= 1 {
+		t.Errorf("one-typo similarity = %g, want in [0.7, 1)", typo)
+	}
+	if far := QGramSim("smith", "jones", 2); far >= typo {
+		t.Errorf("unrelated words %g must score below typo pair %g", far, typo)
+	}
+	if QGramSim("", "x", 2) != 0 {
+		t.Error("empty word must score 0")
+	}
+}
+
+func TestQGramSimSymmetricBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		s := QGramSim(a, b, 2)
+		return s >= 0 && s <= 1 && math.Abs(s-QGramSim(b, a, 2)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

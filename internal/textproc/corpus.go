@@ -1,0 +1,216 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Corpus is the tokenized view of a record collection. Term identifiers are
+// dense indexes in [0, NumTerms), record token lists are sorted, de-duplicated
+// term-ID sets. All downstream graph models (bipartite term/pair graph,
+// record graph, term co-occurrence graph) are built from a Corpus.
+type Corpus struct {
+	// Terms maps term ID to surface form.
+	Terms []string
+	// Index maps surface form to term ID.
+	Index map[string]int
+	// Docs holds, per record, the sorted set of term IDs it contains.
+	Docs [][]int32
+	// Seqs holds, per record, the original token-ID sequence (with
+	// duplicates, in order). Needed by the term co-occurrence graph of the
+	// TextRank/TW-IDF baseline, which slides a window over the sequence.
+	Seqs [][]int32
+	// DF holds the document frequency of each term.
+	DF []int
+}
+
+// NumRecords returns the number of records in the corpus.
+func (c *Corpus) NumRecords() int { return len(c.Docs) }
+
+// NumTerms returns the number of distinct terms in the corpus.
+func (c *Corpus) NumTerms() int { return len(c.Terms) }
+
+// CorpusOptions controls corpus construction.
+type CorpusOptions struct {
+	Tokenize TokenizeOptions
+	// MaxDFRatio removes terms occurring in more than this fraction of
+	// records ("remove the terms that are very frequent", §VII-A).
+	// Zero or negative disables the filter.
+	MaxDFRatio float64
+	// MinDF removes terms occurring in fewer than MinDF records. Terms with
+	// document frequency 1 connect no record pair and carry no signal for
+	// entity resolution; the default of 0 keeps them (they are simply
+	// isolated nodes in the bipartite graph).
+	MinDF int
+	// Stopwords are removed regardless of frequency — for domain knowledge
+	// the df filter cannot see (e.g. "inc", "llc" in company data).
+	Stopwords []string
+}
+
+// DefaultCorpusOptions mirrors the paper's pre-processing: tokenize and
+// remove very frequent terms.
+func DefaultCorpusOptions() CorpusOptions {
+	return CorpusOptions{
+		Tokenize:   DefaultTokenizeOptions(),
+		MaxDFRatio: 0.15,
+	}
+}
+
+// BuildCorpus tokenizes every text and assembles the corpus, applying the
+// frequent-term filter. Term IDs are assigned in lexicographic order so that
+// corpus construction is deterministic regardless of input order of equal
+// texts.
+func BuildCorpus(texts []string, opts CorpusOptions) *Corpus {
+	n := len(texts)
+	tokenized := make([][]string, n)
+	df := make(map[string]int)
+	for i, txt := range texts {
+		toks := Tokenize(txt, opts.Tokenize)
+		tokenized[i] = toks
+		for _, t := range UniqueTokens(toks) {
+			df[t]++
+		}
+	}
+
+	stop := make(map[string]struct{}, len(opts.Stopwords))
+	for _, w := range opts.Stopwords {
+		stop[strings.ToLower(w)] = struct{}{}
+	}
+
+	maxDF := n + 1
+	if opts.MaxDFRatio > 0 {
+		maxDF = int(opts.MaxDFRatio * float64(n))
+		if maxDF < 2 {
+			maxDF = 2 // never filter so hard that nothing can match
+		}
+	}
+	minDF := opts.MinDF
+
+	kept := make([]string, 0, len(df))
+	for t, f := range df {
+		if f > maxDF || f < minDF {
+			continue
+		}
+		if _, banned := stop[t]; banned {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	sort.Strings(kept)
+
+	c := &Corpus{
+		Terms: kept,
+		Index: make(map[string]int, len(kept)),
+		Docs:  make([][]int32, n),
+		Seqs:  make([][]int32, n),
+		DF:    make([]int, len(kept)),
+	}
+	for id, t := range kept {
+		c.Index[t] = id
+	}
+	for i, toks := range tokenized {
+		seq := make([]int32, 0, len(toks))
+		set := make(map[int32]struct{}, len(toks))
+		for _, t := range toks {
+			id, ok := c.Index[t]
+			if !ok {
+				continue
+			}
+			seq = append(seq, int32(id))
+			set[int32(id)] = struct{}{}
+		}
+		doc := make([]int32, 0, len(set))
+		for id := range set {
+			doc = append(doc, id)
+		}
+		sort.Slice(doc, func(a, b int) bool { return doc[a] < doc[b] })
+		c.Docs[i] = doc
+		c.Seqs[i] = seq
+	}
+	for _, doc := range c.Docs {
+		for _, id := range doc {
+			c.DF[id]++
+		}
+	}
+	return c
+}
+
+// SharedTerms returns the sorted intersection of the term sets of records i
+// and j. Both inputs are sorted, so this is a linear merge.
+func (c *Corpus) SharedTerms(i, j int) []int32 {
+	return IntersectSorted(c.Docs[i], c.Docs[j])
+}
+
+// IntersectSorted intersects two ascending int32 slices.
+func IntersectSorted(a, b []int32) []int32 {
+	var out []int32
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			out = append(out, a[x])
+			x++
+			y++
+		}
+	}
+	return out
+}
+
+// IntersectCount counts, without allocating, the size of the intersection of
+// two ascending int32 slices.
+func IntersectCount(a, b []int32) int {
+	n := 0
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			n++
+			x++
+			y++
+		}
+	}
+	return n
+}
+
+// Validate performs internal consistency checks and returns an error
+// describing the first violation found. It is used by tests and by the
+// dataset loaders to fail fast on malformed input.
+func (c *Corpus) Validate() error {
+	if len(c.Terms) != len(c.DF) {
+		return fmt.Errorf("textproc: %d terms but %d df entries", len(c.Terms), len(c.DF))
+	}
+	if len(c.Docs) != len(c.Seqs) {
+		return fmt.Errorf("textproc: %d docs but %d seqs", len(c.Docs), len(c.Seqs))
+	}
+	for i, doc := range c.Docs {
+		for k, id := range doc {
+			if id < 0 || int(id) >= len(c.Terms) {
+				return fmt.Errorf("textproc: doc %d contains out-of-range term %d", i, id)
+			}
+			if k > 0 && doc[k-1] >= id {
+				return fmt.Errorf("textproc: doc %d term set not strictly ascending", i)
+			}
+		}
+	}
+	df := make([]int, len(c.Terms))
+	for _, doc := range c.Docs {
+		for _, id := range doc {
+			df[id]++
+		}
+	}
+	for t, f := range df {
+		if f != c.DF[t] {
+			return fmt.Errorf("textproc: term %q df mismatch: stored %d, actual %d", c.Terms[t], c.DF[t], f)
+		}
+	}
+	return nil
+}

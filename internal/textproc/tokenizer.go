@@ -1,0 +1,89 @@
+// Package textproc implements the text pre-processing pipeline of the
+// paper (§VII-A): tokenization of record contents, normalization, and
+// removal of very frequent terms that would dilute the effect of
+// discriminative terms.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenizeOptions controls how raw record text is split into terms.
+type TokenizeOptions struct {
+	// Lowercase folds all tokens to lower case. The paper's datasets are
+	// matched case-insensitively.
+	Lowercase bool
+	// MinLen drops tokens shorter than this many runes. Zero keeps all.
+	MinLen int
+	// KeepDigits keeps purely numeric tokens (phone numbers, years and
+	// street numbers are discriminative in the benchmark domains).
+	KeepDigits bool
+}
+
+// DefaultTokenizeOptions mirrors the common practice the paper refers to:
+// lowercase, drop 1-character fragments, keep numeric tokens.
+func DefaultTokenizeOptions() TokenizeOptions {
+	return TokenizeOptions{Lowercase: true, MinLen: 2, KeepDigits: true}
+}
+
+// Tokenize splits text into terms on any rune that is not a letter or a
+// digit. Alphanumeric model codes such as "pslx350h" survive as single
+// tokens, which is essential for the discriminative-term analysis.
+func Tokenize(text string, opts TokenizeOptions) []string {
+	if opts.Lowercase {
+		text = strings.ToLower(text)
+	}
+	var tokens []string
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := text[start:end]
+		start = -1
+		if len([]rune(tok)) < opts.MinLen {
+			return
+		}
+		if !opts.KeepDigits && isAllDigits(tok) {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return tokens
+}
+
+func isAllDigits(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// UniqueTokens returns the distinct tokens of a record, preserving first
+// occurrence order. The paper's graph models connect terms and records by
+// containment, so duplicate occurrences inside one record are irrelevant.
+func UniqueTokens(tokens []string) []string {
+	seen := make(map[string]struct{}, len(tokens))
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

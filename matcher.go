@@ -1,0 +1,143 @@
+package er
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Matcher answers query-time lookups against a resolved dataset: given a
+// new record's text, it ranks the existing records by the fused similarity
+// under the term weights a fusion run learned. This is the incremental
+// counterpart of Resolve — matching one incoming record does not require
+// re-running the framework.
+type Matcher struct {
+	terms    map[string]float64
+	tokenize textproc.TokenizeOptions
+	// inverted maps term -> records containing it (built lazily from the
+	// pipeline when the matcher is created from one).
+	inverted map[string][]int32
+	numRecs  int
+}
+
+// Matcher builds a query-time matcher from a fusion outcome. The matcher
+// snapshots the learned term weights and the dataset's inverted index; it
+// remains valid independently of the pipeline afterwards.
+func (p *Pipeline) Matcher(out *FusionOutcome) *Matcher {
+	m := &Matcher{
+		terms:    make(map[string]float64),
+		tokenize: textproc.DefaultTokenizeOptions(),
+		inverted: make(map[string][]int32),
+		numRecs:  p.dataset.NumRecords(),
+	}
+	for t, w := range out.TermWeights {
+		if w > 0 {
+			m.terms[p.corpus.Terms[t]] = w
+		}
+	}
+	for r, doc := range p.corpus.Docs {
+		for _, t := range doc {
+			surface := p.corpus.Terms[t]
+			if m.terms[surface] > 0 {
+				m.inverted[surface] = append(m.inverted[surface], int32(r))
+			}
+		}
+	}
+	return m
+}
+
+// MatchCandidate is one ranked result of a query.
+type MatchCandidate struct {
+	// Record is the index of the existing record.
+	Record int
+	// Similarity is the fused similarity Σ shared term weights.
+	Similarity float64
+	// SharedTerms lists the overlapping terms, heaviest first.
+	SharedTerms []string
+}
+
+// Match ranks existing records against the query text and returns the top
+// k candidates (all scored candidates when k <= 0). Records sharing no
+// weighted term with the query are not candidates, mirroring the
+// pipeline's blocking rule.
+func (m *Matcher) Match(text string, k int) []MatchCandidate {
+	tokens := textproc.UniqueTokens(textproc.Tokenize(text, m.tokenize))
+	scores := make(map[int32]float64)
+	shared := make(map[int32][]string)
+	for _, tok := range tokens {
+		w := m.terms[tok]
+		if w <= 0 {
+			continue
+		}
+		for _, r := range m.inverted[tok] {
+			scores[r] += w
+			shared[r] = append(shared[r], tok)
+		}
+	}
+	out := make([]MatchCandidate, 0, len(scores))
+	for r, s := range scores {
+		terms := shared[r]
+		sort.Slice(terms, func(a, b int) bool {
+			if m.terms[terms[a]] != m.terms[terms[b]] {
+				return m.terms[terms[a]] > m.terms[terms[b]]
+			}
+			return terms[a] < terms[b]
+		})
+		out = append(out, MatchCandidate{Record: int(r), Similarity: s, SharedTerms: terms})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Similarity != out[b].Similarity {
+			return out[a].Similarity > out[b].Similarity
+		}
+		return out[a].Record < out[b].Record
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// matcherModel is the serialized form.
+type matcherModel struct {
+	Version  int                      `json:"version"`
+	NumRecs  int                      `json:"num_records"`
+	Terms    map[string]float64       `json:"terms"`
+	Inverted map[string][]int32       `json:"inverted"`
+	Tokenize textproc.TokenizeOptions `json:"tokenize"`
+}
+
+// Save serializes the matcher as JSON so a fitted model can be reused
+// across processes without re-running the fusion framework.
+func (m *Matcher) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(matcherModel{
+		Version:  1,
+		NumRecs:  m.numRecs,
+		Terms:    m.terms,
+		Inverted: m.inverted,
+		Tokenize: m.tokenize,
+	})
+}
+
+// LoadMatcher reads a matcher saved with Save.
+func LoadMatcher(r io.Reader) (*Matcher, error) {
+	var model matcherModel
+	if err := json.NewDecoder(r).Decode(&model); err != nil {
+		return nil, fmt.Errorf("er: decoding matcher: %w", err)
+	}
+	if model.Version != 1 {
+		return nil, fmt.Errorf("er: unsupported matcher version %d", model.Version)
+	}
+	if model.Terms == nil || model.Inverted == nil {
+		return nil, fmt.Errorf("er: matcher model missing fields")
+	}
+	return &Matcher{
+		terms:    model.Terms,
+		tokenize: model.Tokenize,
+		inverted: model.Inverted,
+		numRecs:  model.NumRecs,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package er
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/textproc"
+)
+
+// Options configures the resolution pipeline. The zero value is NOT valid;
+// start from DefaultOptions, which reproduces the paper's universal
+// parameter setting (§VII-C): α = 20, S = 20, η = 0.98, 5 fusion rounds.
+type Options struct {
+	// Alpha is the non-linear transition exponent of the random walk
+	// (Eq. 11).
+	Alpha float64
+	// Steps is S, the maximum walk length.
+	Steps int
+	// Eta is the matching-probability threshold η. Because CliqueRank's
+	// output is a probability, η transfers across domains (the paper uses
+	// 0.98 everywhere).
+	Eta float64
+	// FusionIterations is the number of ITER → CliqueRank rounds.
+	FusionIterations int
+
+	// MaxDFRatio removes terms occurring in more than this fraction of
+	// records during pre-processing (§VII-A "remove the terms that are
+	// very frequent").
+	MaxDFRatio float64
+	// MaxTermRecords skips terms contained in more than this many records
+	// during candidate generation; 0 (the default) disables the cap and
+	// relies on MaxDFRatio. Any positive cap must exceed the largest
+	// ground-truth cluster size, or blocking dismembers that cluster: the
+	// Paper benchmark's largest entity has 192 records whose shared title
+	// words have df = 192.
+	MaxTermRecords int
+	// MinJaccard requires candidate pairs to reach this Jaccard similarity
+	// (default 0.2; the crowd-based systems the paper compares against
+	// pre-filter these benchmarks at Jaccard 0.3 — see blocking.Options —
+	// and 0.2 is the equivalent operating point for this tokenizer).
+	MinJaccard float64
+	// Stopwords are removed during pre-processing regardless of frequency,
+	// for domain knowledge the frequency filter cannot see.
+	Stopwords []string
+	// MinSharedTerms requires candidate pairs to share at least this many
+	// terms (default 2). Set to 1 for the paper's literal footnote rule;
+	// see blocking.Options for why the default dissolves fake cliques of
+	// single-shared-term pairs.
+	MinSharedTerms int
+
+	// UseRSS swaps CliqueRank for the sampling-based RSS estimator.
+	UseRSS bool
+	// RSSWalks is M, the number of walks sampled per edge by RSS.
+	RSSWalks int
+
+	// L2Normalization switches ITER's per-iteration term-weight
+	// normalization from the paper's bounded map x/(1+x) to unit Euclidean
+	// norm (the alternative §V-C mentions). The learned ranking is
+	// preserved; only the weight scale changes.
+	L2Normalization bool
+
+	// Seed drives every random choice in the pipeline.
+	Seed int64
+
+	// Progress, when non-nil, observes each fusion iteration with the
+	// current pair similarities, matching probabilities and cumulative
+	// elapsed time.
+	Progress func(iteration int, s, p []float64, elapsed time.Duration)
+}
+
+// DefaultOptions returns the paper's universal setting.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:            20,
+		Steps:            20,
+		Eta:              0.98,
+		FusionIterations: 5,
+		MaxDFRatio:       0.12,
+		MinSharedTerms:   2,
+		MinJaccard:       0.2,
+		RSSWalks:         20,
+		Seed:             1,
+	}
+}
+
+// Validate reports the first configuration error, or nil. Resolve and
+// NewPipeline accept any options; Validate exists for callers assembling
+// options from external configuration.
+func (o Options) Validate() error {
+	switch {
+	case o.Alpha <= 0:
+		return fmt.Errorf("er: Alpha must be positive, got %g", o.Alpha)
+	case o.Steps < 1:
+		return fmt.Errorf("er: Steps must be >= 1, got %d", o.Steps)
+	case o.Eta < 0 || o.Eta > 1:
+		return fmt.Errorf("er: Eta must be in [0,1], got %g", o.Eta)
+	case o.FusionIterations < 1:
+		return fmt.Errorf("er: FusionIterations must be >= 1, got %d", o.FusionIterations)
+	case o.MaxDFRatio < 0 || o.MaxDFRatio > 1:
+		return fmt.Errorf("er: MaxDFRatio must be in [0,1], got %g", o.MaxDFRatio)
+	case o.MinJaccard < 0 || o.MinJaccard > 1:
+		return fmt.Errorf("er: MinJaccard must be in [0,1], got %g", o.MinJaccard)
+	case o.UseRSS && o.RSSWalks < 2:
+		return fmt.Errorf("er: RSSWalks must be >= 2 when UseRSS is set, got %d", o.RSSWalks)
+	}
+	return nil
+}
+
+func (o Options) coreOptions() core.Options {
+	c := core.DefaultOptions()
+	c.Alpha = o.Alpha
+	c.Steps = o.Steps
+	c.Eta = o.Eta
+	c.FusionIterations = o.FusionIterations
+	c.UseRSS = o.UseRSS
+	c.RSSWalks = o.RSSWalks
+	if o.L2Normalization {
+		c.Normalization = core.NormL2
+	}
+	c.Seed = o.Seed
+	c.Progress = o.Progress
+	return c
+}
+
+func (o Options) corpusOptions() textproc.CorpusOptions {
+	return textproc.CorpusOptions{
+		Tokenize:   textproc.DefaultTokenizeOptions(),
+		MaxDFRatio: o.MaxDFRatio,
+		Stopwords:  o.Stopwords,
+	}
+}

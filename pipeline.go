@@ -1,0 +1,385 @@
+package er
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/similarity"
+	"repro/internal/textproc"
+)
+
+// Pipeline holds the tokenized corpus and candidate-pair structures for one
+// dataset and exposes every scoring method of the paper's evaluation. All
+// score slices returned by its methods are aligned: index k refers to
+// candidate pair k.
+type Pipeline struct {
+	dataset *Dataset
+	opts    Options
+	corpus  *textproc.Corpus
+	graph   *blocking.Graph
+	truth   map[uint64]bool
+}
+
+// NewPipeline tokenizes the dataset, applies the frequent-term filter and
+// generates candidate pairs (cross-source only for multi-source data).
+func NewPipeline(d *Dataset, opts Options) *Pipeline {
+	corpus := textproc.BuildCorpus(d.ds.Texts(), opts.corpusOptions())
+	bOpts := blocking.Options{
+		CrossSourceOnly: d.ds.NumSources > 1,
+		MaxTermRecords:  opts.MaxTermRecords,
+		MinSharedTerms:  opts.MinSharedTerms,
+		MinJaccard:      opts.MinJaccard,
+	}
+	g := blocking.Build(corpus, d.ds.Sources(), bOpts)
+	p := &Pipeline{dataset: d, opts: opts, corpus: corpus, graph: g}
+	if d.HasGroundTruth() {
+		p.truth = d.ds.TrueMatches()
+	}
+	return p
+}
+
+// NumCandidates returns the number of candidate pairs.
+func (p *Pipeline) NumCandidates() int { return p.graph.NumPairs() }
+
+// CandidatePair returns the record indexes of candidate pair k.
+func (p *Pipeline) CandidatePair(k int) (int, int) {
+	pair := p.graph.Pairs[k]
+	return int(pair.I), int(pair.J)
+}
+
+// NumTerms returns the number of terms that survived pre-processing.
+func (p *Pipeline) NumTerms() int { return p.corpus.NumTerms() }
+
+// Term returns the surface form of term t.
+func (p *Pipeline) Term(t int) string { return p.corpus.Terms[t] }
+
+// Jaccard scores candidate pairs with token-set Jaccard similarity.
+func (p *Pipeline) Jaccard() []float64 { return similarity.Jaccard(p.corpus, p.graph) }
+
+// TFIDF scores candidate pairs with TF-IDF cosine similarity.
+func (p *Pipeline) TFIDF() []float64 { return similarity.TFIDFCosine(p.corpus, p.graph) }
+
+// SoftTFIDF scores candidate pairs with the Soft TF-IDF hybrid metric of
+// Cohen et al. (token TF-IDF with Jaro-Winkler near-matching), an
+// additional member of the §II-A distance family offered by the library.
+func (p *Pipeline) SoftTFIDF() []float64 { return similarity.SoftTFIDFScores(p.corpus, p.graph) }
+
+// MongeElkan scores candidate pairs with the symmetrized Monge-Elkan field
+// match over surface tokens (Jaro-Winkler inner metric).
+func (p *Pipeline) MongeElkan() []float64 { return similarity.MongeElkanScores(p.corpus, p.graph) }
+
+// BiRank scores candidate pairs with TW-IDF weighting driven by BiRank
+// term salience on the record-term bipartite graph (He et al., the paper's
+// ref [28]) and also returns the salience vector.
+func (p *Pipeline) BiRank() (scores, salience []float64) {
+	return baselines.BiRankTWIDF(p.corpus, p.graph, baselines.DefaultBiRankOptions())
+}
+
+// SimRank scores candidate pairs with bipartite SimRank (Eq. 1-2).
+func (p *Pipeline) SimRank() []float64 {
+	return baselines.SimRank(p.corpus, p.graph, baselines.DefaultSimRankOptions())
+}
+
+// PageRank scores candidate pairs with the PageRank/TW-IDF baseline (Eq.
+// 3-4) and also returns the PageRank term salience.
+func (p *Pipeline) PageRank() (scores, salience []float64) {
+	return baselines.PageRankTWIDF(p.corpus, p.graph, baselines.DefaultPageRankOptions())
+}
+
+// Hybrid scores candidate pairs with the β-weighted combination of SimRank
+// and PageRank/TW-IDF (Eq. 5).
+func (p *Pipeline) Hybrid(beta float64) []float64 {
+	sb := p.SimRank()
+	su, _ := p.PageRank()
+	return baselines.Hybrid(sb, su, beta)
+}
+
+// FusionOutcome is the result of the full ITER+CliqueRank framework.
+type FusionOutcome struct {
+	// TermWeights is the learned discrimination power x_t per term.
+	TermWeights []float64
+	// Similarities is the learned pair similarity s per candidate pair.
+	Similarities []float64
+	// Probabilities is the matching probability p per candidate pair.
+	Probabilities []float64
+	// Matched flags candidate pairs with p >= η.
+	Matched []bool
+	// GraphNodes and GraphEdges are the Table III record-graph statistics.
+	GraphNodes, GraphEdges int
+	// ITERUpdateTrace concatenates the Σ|Δx_t| per inner ITER iteration
+	// across fusion rounds (the Figure 5 series).
+	ITERUpdateTrace [][]float64
+	// Elapsed is the wall-clock time of the fusion loop.
+	Elapsed time.Duration
+}
+
+// Fusion runs the full unsupervised framework.
+func (p *Pipeline) Fusion() *FusionOutcome {
+	res := core.RunFusion(p.graph, p.dataset.NumRecords(), p.opts.coreOptions())
+	return &FusionOutcome{
+		TermWeights:     res.X,
+		Similarities:    res.S,
+		Probabilities:   res.P,
+		Matched:         res.Matches,
+		GraphNodes:      res.Graph.NumNodes(),
+		GraphEdges:      res.Graph.NumEdges(),
+		ITERUpdateTrace: res.ITERTrace,
+		Elapsed:         res.Elapsed,
+	}
+}
+
+// Metrics is a pairwise precision/recall/F1 evaluation result.
+type Metrics struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN            int
+}
+
+func fromPRF(r eval.PRF) Metrics {
+	return Metrics{Precision: r.Precision, Recall: r.Recall, F1: r.F1, TP: r.TP, FP: r.FP, FN: r.FN}
+}
+
+// EvaluateMatches scores a boolean match assignment against ground truth.
+// It returns false when the dataset has no ground truth.
+func (p *Pipeline) EvaluateMatches(matched []bool) (Metrics, bool) {
+	if p.truth == nil {
+		return Metrics{}, false
+	}
+	return fromPRF(eval.EvaluatePairs(p.graph.Pairs, matched, p.truth, len(p.truth))), true
+}
+
+// EvaluateScores applies the paper's automatic threshold protocol: quantize
+// [0, max] into 1000 values and return the threshold with the best F1.
+func (p *Pipeline) EvaluateScores(scores []float64) (threshold float64, m Metrics, ok bool) {
+	if p.truth == nil {
+		return 0, Metrics{}, false
+	}
+	th, r := eval.BestThreshold(p.graph.Pairs, scores, p.truth, len(p.truth), 1000)
+	return th, fromPRF(r), true
+}
+
+// EvaluateClusters scores a clustering with B-cubed precision/recall/F1,
+// the per-record cluster metric that complements the paper's pairwise F1 on
+// skewed cluster-size distributions. It returns false without ground truth.
+func (p *Pipeline) EvaluateClusters(clusters [][]int) (Metrics, bool) {
+	if p.truth == nil {
+		return Metrics{}, false
+	}
+	gold := make([]int, p.dataset.NumRecords())
+	for i := range gold {
+		gold[i] = p.dataset.ds.Records[i].EntityID
+	}
+	return fromPRF(eval.BCubed(clusters, gold)), true
+}
+
+// PRPoint is one precision/recall operating point of a score-based matcher.
+type PRPoint struct {
+	Threshold             float64
+	Precision, Recall, F1 float64
+}
+
+// PRCurve computes the precision-recall curve of a pair scoring, one point
+// per distinct score, thresholds descending. It returns false when the
+// dataset has no ground truth.
+func (p *Pipeline) PRCurve(scores []float64) ([]PRPoint, bool) {
+	if p.truth == nil {
+		return nil, false
+	}
+	raw := eval.PRCurve(p.graph.Pairs, scores, p.truth, len(p.truth))
+	out := make([]PRPoint, len(raw))
+	for i, pt := range raw {
+		out[i] = PRPoint{Threshold: pt.Threshold, Precision: pt.Precision, Recall: pt.Recall, F1: pt.F1}
+	}
+	return out, true
+}
+
+// TermWeightQuality computes the Table IV diagnostic: Spearman's rank
+// correlation between a term-weight vector and the score(t) oracle over
+// terms connected to at least one candidate pair.
+func (p *Pipeline) TermWeightQuality(weights []float64) (float64, bool) {
+	if p.truth == nil {
+		return 0, false
+	}
+	oracle := eval.TermScores(p.graph, p.truth)
+	var w, o []float64
+	for t, s := range oracle {
+		if s < 0 {
+			continue
+		}
+		w = append(w, weights[t])
+		o = append(o, s)
+	}
+	return eval.Spearman(w, o), true
+}
+
+// TermScoreSeries returns the Figure 4 series for a weight vector: score(t)
+// of terms ordered by descending weight.
+func (p *Pipeline) TermScoreSeries(weights []float64) ([]float64, bool) {
+	if p.truth == nil {
+		return nil, false
+	}
+	oracle := eval.TermScores(p.graph, p.truth)
+	return eval.RankSeries(weights, oracle), true
+}
+
+// BlockingRecall returns the fraction of ground-truth matching pairs that
+// survived candidate generation — the recall ceiling of every downstream
+// method. It returns false when the dataset has no ground truth.
+func (p *Pipeline) BlockingRecall() (float64, bool) {
+	if p.truth == nil {
+		return 0, false
+	}
+	if len(p.truth) == 0 {
+		return 1, true
+	}
+	hit := 0
+	for key := range p.truth {
+		if _, ok := p.graph.Index[key]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(p.truth)), true
+}
+
+// TermWeight pairs a term's surface form with its learned weight.
+type TermWeight struct {
+	Term   string
+	Weight float64
+}
+
+// TopTerms returns the k highest-weighted terms of a weight vector,
+// descending — the library's window into what ITER decided is
+// discriminative (model codes, phone numbers, rare title words).
+func (p *Pipeline) TopTerms(weights []float64, k int) []TermWeight {
+	out := make([]TermWeight, 0, p.corpus.NumTerms())
+	for t, w := range weights {
+		if w > 0 {
+			out = append(out, TermWeight{Term: p.corpus.Terms[t], Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Clusters groups records into entities by transitive closure over the
+// matched pairs.
+func (p *Pipeline) Clusters(matched []bool) [][]int {
+	return cluster.FromMatches(p.dataset.NumRecords(), p.graph.Pairs, matched)
+}
+
+// Explanation breaks down why a candidate pair scored the way it did.
+type Explanation struct {
+	// I, J are the record indexes.
+	I, J int
+	// Similarity is the fused similarity s(ri, rj).
+	Similarity float64
+	// Probability is the CliqueRank matching probability p(ri, rj).
+	Probability float64
+	// SharedTerms lists the terms the records share with their learned
+	// weights, heaviest first — the evidence the decision rests on.
+	SharedTerms []TermWeight
+}
+
+// Explain reports the evidence behind one candidate pair's outcome. It
+// returns false when (i, j) is not a candidate pair (records sharing
+// nothing can never match).
+func (p *Pipeline) Explain(out *FusionOutcome, i, j int) (Explanation, bool) {
+	id, ok := p.graph.PairID(int32(i), int32(j))
+	if !ok {
+		return Explanation{}, false
+	}
+	ex := Explanation{
+		I: i, J: j,
+		Similarity:  out.Similarities[id],
+		Probability: out.Probabilities[id],
+	}
+	for _, t := range textproc.IntersectSorted(p.corpus.Docs[i], p.corpus.Docs[j]) {
+		ex.SharedTerms = append(ex.SharedTerms, TermWeight{
+			Term:   p.corpus.Terms[t],
+			Weight: out.TermWeights[t],
+		})
+	}
+	sort.Slice(ex.SharedTerms, func(a, b int) bool {
+		if ex.SharedTerms[a].Weight != ex.SharedTerms[b].Weight {
+			return ex.SharedTerms[a].Weight > ex.SharedTerms[b].Weight
+		}
+		return ex.SharedTerms[a].Term < ex.SharedTerms[b].Term
+	})
+	return ex, true
+}
+
+// Match is one resolved record pair.
+type Match struct {
+	I, J        int
+	Probability float64
+}
+
+// Result is the outcome of Resolve.
+type Result struct {
+	// Matches lists the record pairs with matching probability >= η,
+	// ordered by candidate enumeration.
+	Matches []Match
+	// Clusters groups record indexes per resolved entity (size-descending;
+	// unmatched records appear as singletons).
+	Clusters [][]int
+	// Probabilities holds p per candidate pair; Pairs identifies them.
+	Probabilities []float64
+	// Evaluation holds pairwise metrics when the dataset carries ground
+	// truth; nil otherwise.
+	Evaluation *Metrics
+	// GraphNodes/GraphEdges describe the record graph.
+	GraphNodes, GraphEdges int
+	// Elapsed is the fusion wall-clock time.
+	Elapsed time.Duration
+}
+
+// Resolve runs the full unsupervised pipeline on a dataset: tokenize, block,
+// iterate ITER ⇄ CliqueRank, threshold at η and cluster.
+func Resolve(d *Dataset, opts Options) (*Result, error) {
+	p := NewPipeline(d, opts)
+	out := p.Fusion()
+	res := &Result{
+		Probabilities: out.Probabilities,
+		Clusters:      p.Clusters(out.Matched),
+		GraphNodes:    out.GraphNodes,
+		GraphEdges:    out.GraphEdges,
+		Elapsed:       out.Elapsed,
+	}
+	for k, matched := range out.Matched {
+		if !matched {
+			continue
+		}
+		i, j := p.CandidatePair(k)
+		res.Matches = append(res.Matches, Match{I: i, J: j, Probability: out.Probabilities[k]})
+	}
+	if m, ok := p.EvaluateMatches(out.Matched); ok {
+		res.Evaluation = &m
+	}
+	return res, nil
+}
+
+// Internals exposes the pipeline's internal corpus and candidate structures
+// to the same-module experiment harness (internal/experiments) and the
+// benchmark suite, which need to time ITER, CliqueRank and RSS separately
+// for the Table III reproduction. The returned types live under internal/
+// and cannot be named by external importers; this accessor is not part of
+// the supported API surface.
+func (p *Pipeline) Internals() (*textproc.Corpus, *blocking.Graph) {
+	return p.corpus, p.graph
+}
+
+// CoreOptions converts the pipeline's options into the internal core
+// parameter set (same-module harness bridge, as with Internals).
+func (p *Pipeline) CoreOptions() core.Options { return p.opts.coreOptions() }

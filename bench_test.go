@@ -169,7 +169,10 @@ func benchAblation(b *testing.B, modify func(*core.Options)) {
 		if modify != nil {
 			modify(&opts)
 		}
-		res := core.RunFusion(g, g.NumRecords, opts)
+		res, err := core.RunFusion(g, g.NumRecords, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if m, ok := p.EvaluateMatches(res.Matches); ok {
 			f1 = m.F1
 		}
@@ -197,7 +200,10 @@ func BenchmarkAblationBonus(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			opts := p.CoreOptions()
 			opts.DisableBonus = disable
-			res := core.RunFusion(g, g.NumRecords, opts)
+			res, err := core.RunFusion(g, g.NumRecords, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if m, ok := p.EvaluateMatches(res.Matches); ok {
 				f1 = m.F1
 			}

@@ -3,15 +3,23 @@
 // clusters. When the file carries entity labels, pairwise
 // precision/recall/F1 are reported as well.
 //
+// The command exits 0 on success, 2 on usage or configuration errors, and 1
+// on runtime failures (unreadable input, no candidates, exhausted budgets,
+// interruption). Ctrl-C aborts the run promptly via context cancellation.
+//
 // Usage:
 //
-//	erresolve [-eta 0.98] [-iterations 5] [-rss] [-v] file.csv
+//	erresolve [-eta 0.98] [-iterations 5] [-rss] [-max-pairs N] [-timeout 30s] [-v] file.csv
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro"
 )
@@ -20,11 +28,14 @@ import (
 // staged API is used so -explain can reference the same fusion outcome).
 func assemble(d *er.Dataset, pipe *er.Pipeline, out *er.FusionOutcome) *er.Result {
 	res := &er.Result{
-		Probabilities: out.Probabilities,
-		Clusters:      pipe.Clusters(out.Matched),
-		GraphNodes:    out.GraphNodes,
-		GraphEdges:    out.GraphEdges,
-		Elapsed:       out.Elapsed,
+		Probabilities:  out.Probabilities,
+		Clusters:       pipe.Clusters(out.Matched),
+		GraphNodes:     out.GraphNodes,
+		GraphEdges:     out.GraphEdges,
+		Converged:      out.Converged,
+		NumericRepairs: out.NumericRepairs,
+		Degradation:    pipe.Degradation(),
+		Elapsed:        out.Elapsed,
 	}
 	for k, matched := range out.Matched {
 		if !matched {
@@ -39,10 +50,33 @@ func assemble(d *er.Dataset, pipe *er.Pipeline, out *er.FusionOutcome) *er.Resul
 	return res
 }
 
+// fail prints a readable, taxonomy-aware message and exits non-zero.
+func fail(err error) {
+	switch {
+	case errors.Is(err, er.ErrInvalidOptions):
+		fmt.Fprintf(os.Stderr, "erresolve: bad configuration: %v\n", err)
+		os.Exit(2)
+	case errors.Is(err, er.ErrNoRecords):
+		fmt.Fprintln(os.Stderr, "erresolve: the dataset has no records — is the CSV empty?")
+	case errors.Is(err, er.ErrNoCandidates):
+		fmt.Fprintln(os.Stderr, "erresolve: no two records share a term, so nothing can match;")
+		fmt.Fprintln(os.Stderr, "  check the text column, or relax -eta and the blocking options")
+	case errors.Is(err, er.ErrBudgetExceeded):
+		fmt.Fprintf(os.Stderr, "erresolve: %v\n  raise -timeout or shrink the dataset\n", err)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "erresolve: interrupted")
+	default:
+		fmt.Fprintf(os.Stderr, "erresolve: %v\n", err)
+	}
+	os.Exit(1)
+}
+
 func main() {
 	eta := flag.Float64("eta", 0.98, "matching probability threshold η")
 	iterations := flag.Int("iterations", 5, "ITER ⇄ CliqueRank fusion rounds")
 	useRSS := flag.Bool("rss", false, "use the sampling-based RSS estimator instead of CliqueRank")
+	maxPairs := flag.Int("max-pairs", 0, "candidate-pair budget (0 = unlimited); degrades blocking gracefully")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
 	verbose := flag.Bool("v", false, "print every matched pair with its record texts")
 	explain := flag.Bool("explain", false, "print the shared-term evidence behind each matched pair")
 	maxClusters := flag.Int("clusters", 10, "number of largest clusters to print")
@@ -63,17 +97,41 @@ func main() {
 	opts.Eta = *eta
 	opts.FusionIterations = *iterations
 	opts.UseRSS = *useRSS
-	if err := opts.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "erresolve: %v\n", err)
-		os.Exit(2)
+	opts.MaxCandidatePairs = *maxPairs
+	opts.MaxWallClock = *timeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	pipe, err := er.NewPipelineContext(ctx, d, opts)
+	if err != nil {
+		fail(err)
 	}
-	pipe := er.NewPipeline(d, opts)
-	out := pipe.Fusion()
+	if err := pipe.CheckCandidates(); err != nil {
+		fail(err)
+	}
+	if dr := pipe.Degradation(); dr != nil {
+		fmt.Fprintf(os.Stderr, "erresolve: candidate budget exceeded (%d natural pairs > %d); degraded:\n",
+			dr.OriginalPairs, *maxPairs)
+		for _, step := range dr.Steps {
+			fmt.Fprintf(os.Stderr, "  - %s\n", step)
+		}
+	}
+	out, err := pipe.FusionContext(ctx)
+	if err != nil {
+		fail(err)
+	}
 	res := assemble(d, pipe, out)
 
 	fmt.Printf("%s: %d records, %d sources, record graph %d nodes / %d edges\n",
 		d.Name(), d.NumRecords(), d.NumSources(), res.GraphNodes, res.GraphEdges)
-	fmt.Printf("resolved %d matching pairs in %s\n", len(res.Matches), res.Elapsed.Round(1e6))
+	fmt.Printf("resolved %d matching pairs in %s\n", len(res.Matches), res.Elapsed.Round(time.Millisecond))
+	if !res.Converged {
+		fmt.Fprintln(os.Stderr, "erresolve: warning: ITER hit its iteration cap before converging")
+	}
+	if res.NumericRepairs > 0 {
+		fmt.Fprintf(os.Stderr, "erresolve: warning: %d non-finite values repaired during fusion\n", res.NumericRepairs)
+	}
 
 	if *verbose || *explain {
 		for _, m := range res.Matches {

@@ -1,0 +1,56 @@
+package er
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The library's structured error taxonomy. Every error returned by Resolve,
+// ResolveContext and NewPipelineContext wraps one of these sentinels (or a
+// context error for cancellation), so callers can branch with errors.Is
+// without parsing messages:
+//
+//	res, err := er.ResolveContext(ctx, d, opts)
+//	switch {
+//	case errors.Is(err, er.ErrInvalidOptions):   // fix the configuration
+//	case errors.Is(err, er.ErrNoRecords):        // empty input
+//	case errors.Is(err, er.ErrBudgetExceeded):   // raise MaxWallClock / budgets
+//	case errors.Is(err, context.Canceled):       // caller canceled
+//	}
+var (
+	// ErrNoRecords reports a nil or empty dataset. Resolution over nothing
+	// is almost always a caller bug (a failed load, an empty query), so it
+	// is an error rather than an empty result.
+	ErrNoRecords = errors.New("er: dataset has no records")
+
+	// ErrNoCandidates reports that blocking produced no candidate pairs.
+	// Resolve does NOT return it — an empty candidate set is a valid empty
+	// result (every record its own entity). It is produced by
+	// Pipeline.CheckCandidates for callers (such as cmd/erresolve) that
+	// treat "nothing can possibly match" as a failure worth surfacing.
+	ErrNoCandidates = errors.New("er: no candidate pairs (no two records share a term)")
+
+	// ErrBudgetExceeded reports that a resource budget was exhausted:
+	// MaxWallClock elapsed before the pipeline finished. Errors wrapping it
+	// also wrap context.DeadlineExceeded.
+	ErrBudgetExceeded = errors.New("er: resource budget exceeded")
+
+	// ErrInvalidOptions reports an Options value rejected by Validate.
+	ErrInvalidOptions = errors.New("er: invalid options")
+
+	// ErrInternal reports an internal invariant violation (a library bug).
+	// Resolve and ResolveContext install a panic-recovery boundary that
+	// converts internal panics into errors wrapping ErrInternal, so a
+	// server embedding the library never crashes on one bad request.
+	ErrInternal = errors.New("er: internal error")
+)
+
+// recoverToError converts a panic in the resolution path into an error
+// wrapping ErrInternal. It is installed by the public entry points; internal
+// packages keep panicking on broken invariants (those panics indicate bugs,
+// and tests assert on them), while API consumers always get an error.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: panic: %v", ErrInternal, r)
+	}
+}

@@ -1,0 +1,28 @@
+package er
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRecoverToError pins the panic boundary: a panic inside a guarded
+// function becomes an error wrapping ErrInternal, and a clean return is
+// left untouched.
+func TestRecoverToError(t *testing.T) {
+	boom := func() (err error) {
+		defer recoverToError(&err)
+		panic("invariant violated")
+	}
+	err := boom()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("panic produced %v, want error wrapping ErrInternal", err)
+	}
+
+	clean := func() (err error) {
+		defer recoverToError(&err)
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Fatalf("clean path produced %v", err)
+	}
+}

@@ -11,7 +11,10 @@ import (
 
 func setup(texts ...string) (*textproc.Corpus, *blocking.Graph) {
 	c := textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
-	g := blocking.Build(c, nil, blocking.Options{})
+	g, err := blocking.Build(c, nil, blocking.Options{})
+	if err != nil {
+		panic(err)
+	}
 	return c, g
 }
 
@@ -146,32 +149,48 @@ func TestSimRankPruning(t *testing.T) {
 	}
 }
 
+// mustHybrid fails the test on the misalignment error.
+func mustHybrid(t *testing.T, sb, su []float64, beta float64) []float64 {
+	t.Helper()
+	h, err := Hybrid(sb, su, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestHybridCombination(t *testing.T) {
 	sb := []float64{1, 0, 0.5}
 	su := []float64{0, 2, 1}
-	h := Hybrid(sb, su, 0.5)
+	h := mustHybrid(t, sb, su, 0.5)
 	// normalized: sb=[1,0,.5], su=[0,1,.5] → h=[.5,.5,.5]
 	for i, v := range h {
 		if math.Abs(v-0.5) > 1e-12 {
 			t.Errorf("h[%d] = %g, want 0.5", i, v)
 		}
 	}
-	h0 := Hybrid(sb, su, 0)
+	h0 := mustHybrid(t, sb, su, 0)
 	if h0[1] != 1 || h0[0] != 0 {
 		t.Errorf("beta=0 must return normalized TW-IDF, got %v", h0)
 	}
-	h1 := Hybrid(sb, su, 1)
+	h1 := mustHybrid(t, sb, su, 1)
 	if h1[0] != 1 || h1[1] != 0 {
 		t.Errorf("beta=1 must return normalized SimRank, got %v", h1)
 	}
 }
 
 func TestHybridZeroVectors(t *testing.T) {
-	h := Hybrid([]float64{0, 0}, []float64{0, 0}, 0.5)
+	h := mustHybrid(t, []float64{0, 0}, []float64{0, 0}, 0.5)
 	for _, v := range h {
 		if v != 0 {
 			t.Error("all-zero inputs must stay zero")
 		}
+	}
+}
+
+func TestHybridMisalignedError(t *testing.T) {
+	if _, err := Hybrid([]float64{1, 2}, []float64{1}, 0.5); err == nil {
+		t.Fatal("misaligned inputs must return an error")
 	}
 }
 

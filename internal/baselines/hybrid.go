@@ -1,13 +1,16 @@
 package baselines
 
+import "fmt"
+
 // Hybrid linearly combines topological (SimRank) and textual (TW-IDF) pair
 // scores per Eq. 5: s_h = β·s_b + (1-β)·s_u. The two score families live on
 // very different scales (SimRank in [0,1], TW-IDF unbounded), so each side
 // is max-normalized before combining — without this, β would be meaningless
-// and one side would always dominate the sweep.
-func Hybrid(simrank, twidf []float64, beta float64) []float64 {
+// and one side would always dominate the sweep. Misaligned inputs yield an
+// error: both slices must be indexed by the same candidate-pair enumeration.
+func Hybrid(simrank, twidf []float64, beta float64) ([]float64, error) {
 	if len(simrank) != len(twidf) {
-		panic("baselines: Hybrid requires aligned score slices")
+		return nil, fmt.Errorf("baselines: Hybrid requires aligned score slices, got %d and %d", len(simrank), len(twidf))
 	}
 	out := make([]float64, len(simrank))
 	sb := maxNormalize(simrank)
@@ -15,7 +18,7 @@ func Hybrid(simrank, twidf []float64, beta float64) []float64 {
 	for i := range out {
 		out[i] = beta*sb[i] + (1-beta)*su[i]
 	}
-	return out
+	return out, nil
 }
 
 func maxNormalize(x []float64) []float64 {

@@ -9,6 +9,7 @@ package blocking
 import (
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/textproc"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	// "share a considerable number of discriminative terms" — are
 	// unaffected.
 	MinSharedTerms int
+	// Check, when non-nil, is polled during candidate enumeration so a
+	// canceled run aborts promptly instead of completing an O(Σ |block|²)
+	// pass on adversarial input. Build returns the checkpoint's error.
+	Check *guard.Checkpoint
 }
 
 // Graph is the candidate set plus the bipartite term/pair adjacency.
@@ -73,11 +78,13 @@ type Graph struct {
 
 // Build constructs the candidate set and bipartite graph for the corpus.
 // source[i] gives the origin of record i; it may be nil when
-// !opts.CrossSourceOnly.
-func Build(c *textproc.Corpus, source []int, opts Options) *Graph {
+// !opts.CrossSourceOnly. It returns an error when the source labels are
+// misaligned with the corpus or when opts.Check reports cancellation
+// mid-enumeration; the returned graph is nil in both cases.
+func Build(c *textproc.Corpus, source []int, opts Options) (*Graph, error) {
 	n := c.NumRecords()
 	if opts.CrossSourceOnly && len(source) != n {
-		panic(fmt.Sprintf("blocking: %d records but %d source labels", n, len(source)))
+		return nil, fmt.Errorf("blocking: %d records but %d source labels", n, len(source))
 	}
 	// Inverted index: term -> records containing it (ascending, since we
 	// scan records in order).
@@ -100,13 +107,18 @@ func Build(c *textproc.Corpus, source []int, opts Options) *Graph {
 		return opts.MaxTermRecords <= 0 || len(recs) <= opts.MaxTermRecords
 	}
 	// First pass: count shared terms per co-occurring record pair so the
-	// MinSharedTerms floor can be applied before pair IDs are assigned.
+	// MinSharedTerms floor can be applied before pair IDs are assigned. A
+	// single over-frequent term makes this loop quadratic in the block size,
+	// so cancellation is polled once per outer record position.
 	shared := make(map[uint64]int32)
 	for _, recs := range inv {
 		if !termEligible(recs) {
 			continue
 		}
 		for a := 0; a < len(recs); a++ {
+			if err := opts.Check.Tick(); err != nil {
+				return nil, err
+			}
 			for b := a + 1; b < len(recs); b++ {
 				ri, rj := recs[a], recs[b]
 				if opts.CrossSourceOnly && source[ri] == source[rj] {
@@ -126,6 +138,9 @@ func Build(c *textproc.Corpus, source []int, opts Options) *Graph {
 			continue
 		}
 		for a := 0; a < len(recs); a++ {
+			if err := opts.Check.Tick(); err != nil {
+				return nil, err
+			}
 			for b := a + 1; b < len(recs); b++ {
 				ri, rj := recs[a], recs[b]
 				if opts.CrossSourceOnly && source[ri] == source[rj] {
@@ -151,7 +166,40 @@ func Build(c *textproc.Corpus, source []int, opts Options) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
+}
+
+// Truncate returns a graph restricted to the first maxPairs candidate pairs
+// (enumeration order). It is the last-resort degradation step of the pair
+// budget: when tightening MinJaccard/MaxTermRecords cannot bring the
+// candidate set under budget, the caller drops the tail deterministically.
+// The input graph is not modified; when it is already within budget it is
+// returned unchanged.
+func Truncate(g *Graph, maxPairs int) *Graph {
+	if maxPairs < 0 {
+		maxPairs = 0
+	}
+	if g.NumPairs() <= maxPairs {
+		return g
+	}
+	out := &Graph{
+		NumRecords: g.NumRecords,
+		NumTerms:   g.NumTerms,
+		Pairs:      g.Pairs[:maxPairs:maxPairs],
+		Index:      make(map[uint64]int32, maxPairs),
+		TermPairs:  make([][]int32, g.NumTerms),
+	}
+	for _, p := range out.Pairs {
+		out.Index[Key(p.I, p.J)] = int32(len(out.Index))
+	}
+	for t, pairIDs := range g.TermPairs {
+		for _, pid := range pairIDs {
+			if int(pid) < maxPairs {
+				out.TermPairs[t] = append(out.TermPairs[t], pid)
+			}
+		}
+	}
+	return out
 }
 
 // NumPairs returns the candidate pair count (edges of G_r).

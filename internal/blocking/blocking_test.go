@@ -1,13 +1,27 @@
 package blocking
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"testing"
 
+	"repro/internal/guard"
 	"repro/internal/textproc"
 )
 
 func corpus(texts ...string) *textproc.Corpus {
 	return textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
+}
+
+// mustBuild builds a candidate graph and fails the test on error.
+func mustBuild(t *testing.T, c *textproc.Corpus, source []int, opts Options) *Graph {
+	t.Helper()
+	g, err := Build(c, source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }
 
 func TestBuildSingleSource(t *testing.T) {
@@ -17,7 +31,7 @@ func TestBuildSingleSource(t *testing.T) {
 		"pioneer receiver",        // 2
 		"pioneer amp",             // 3
 	)
-	g := Build(c, nil, Options{})
+	g := mustBuild(t, c, nil, Options{})
 	// candidates: (0,1) share sony+turntable, (2,3) share pioneer
 	if g.NumPairs() != 2 {
 		t.Fatalf("NumPairs = %d, want 2", g.NumPairs())
@@ -45,7 +59,7 @@ func TestBuildCrossSourceOnly(t *testing.T) {
 		"sony tv x100", // 2 source 1
 	)
 	src := []int{0, 0, 1}
-	g := Build(c, src, Options{CrossSourceOnly: true})
+	g := mustBuild(t, c, src, Options{CrossSourceOnly: true})
 	if _, ok := g.PairID(0, 1); ok {
 		t.Error("same-source pair (0,1) must be excluded")
 	}
@@ -72,7 +86,7 @@ func TestBuildMaxTermRecordsCap(t *testing.T) {
 		"common bb",
 		"common bb",
 	)
-	g := Build(c, nil, Options{MaxTermRecords: 3})
+	g := mustBuild(t, c, nil, Options{MaxTermRecords: 3})
 	// only aa (0,1) and bb (2,3) survive
 	if g.NumPairs() != 2 {
 		t.Fatalf("NumPairs = %d, want 2", g.NumPairs())
@@ -85,7 +99,7 @@ func TestBuildMaxTermRecordsCap(t *testing.T) {
 
 func TestPairIDOrderInsensitive(t *testing.T) {
 	c := corpus("aa bb", "aa cc")
-	g := Build(c, nil, Options{})
+	g := mustBuild(t, c, nil, Options{})
 	a, ok1 := g.PairID(0, 1)
 	b, ok2 := g.PairID(1, 0)
 	if !ok1 || !ok2 || a != b {
@@ -116,7 +130,7 @@ func TestPairsConsistentWithTermPairs(t *testing.T) {
 		"cc dd ee",
 		"ee ff",
 	)
-	g := Build(c, nil, Options{})
+	g := mustBuild(t, c, nil, Options{})
 	// Every pair node referenced by a term must share that term.
 	for term, pairIDs := range g.TermPairs {
 		for _, pid := range pairIDs {
@@ -228,5 +242,64 @@ func TestMultiPassUnion(t *testing.T) {
 			t.Fatalf("duplicate pair %v", p)
 		}
 		seen[k] = true
+	}
+}
+
+func TestBuildSourceMismatchError(t *testing.T) {
+	c := corpus("aa bb", "aa cc")
+	g, err := Build(c, []int{0}, Options{CrossSourceOnly: true})
+	if err == nil || g != nil {
+		t.Fatal("misaligned source labels must yield an error, not a panic or a graph")
+	}
+}
+
+func TestBuildCanceledCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A single giant block: every record shares "common", so enumeration is
+	// quadratic — exactly the shape cancellation must be able to interrupt.
+	texts := make([]string, 600)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("common u%da u%db", i, i)
+	}
+	c := corpus(texts...)
+	g, err := Build(c, nil, Options{Check: guard.FromContext(ctx)})
+	if g != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Build returned (%v, %v), want (nil, context.Canceled)", g, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := corpus(
+		"aa bb cc",
+		"aa bb dd",
+		"cc dd ee",
+		"aa cc ee",
+	)
+	g := mustBuild(t, c, nil, Options{})
+	if g.NumPairs() < 3 {
+		t.Fatalf("test corpus produced only %d pairs", g.NumPairs())
+	}
+	tr := Truncate(g, 2)
+	if tr.NumPairs() != 2 {
+		t.Fatalf("truncated to %d pairs, want 2", tr.NumPairs())
+	}
+	// Kept pairs retain their IDs and index entries.
+	for pid, p := range tr.Pairs {
+		if id, ok := tr.PairID(p.I, p.J); !ok || int(id) != pid {
+			t.Errorf("pair %d lost or renumbered after truncation", pid)
+		}
+	}
+	// TermPairs must reference only surviving IDs.
+	for term, pairIDs := range tr.TermPairs {
+		for _, pid := range pairIDs {
+			if int(pid) >= tr.NumPairs() {
+				t.Errorf("term %d references dropped pair %d", term, pid)
+			}
+		}
+	}
+	// Within-budget input is returned unchanged.
+	if Truncate(g, g.NumPairs()) != g {
+		t.Error("within-budget Truncate must be the identity")
 	}
 }

@@ -100,6 +100,13 @@ func CliqueRank(rg *RecordGraph, opts Options) []float64 {
 	acc := mb.Clone()
 	a := mb
 	for step := 2; step <= opts.Steps; step++ {
+		// One poll per matrix power: each masked product is the expensive
+		// unit of work (Σ_i deg(i)² sparse dots), so a canceled run gives
+		// up at most one power of latency. The partial accumulator is
+		// discarded by RunFusion once it observes the checkpoint's error.
+		if opts.Check.Err() != nil {
+			break
+		}
 		a = matrix.MaskedMul(mt, a.Transpose())
 		acc.AddScaled(a, 1)
 	}
@@ -133,6 +140,9 @@ func cliqueRankUnmasked(rg *RecordGraph, mt, mb *matrix.PatVec, opts Options) []
 	a := mb.ToDense()
 	acc := a.Clone()
 	for step := 2; step <= opts.Steps; step++ {
+		if opts.Check.Err() != nil {
+			break
+		}
 		a = mtD.Mul(a)
 		acc = acc.Add(a)
 	}

@@ -25,7 +25,10 @@ func benchGraph(b *testing.B) (*textproc.Corpus, *blocking.Graph) {
 			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))]+" solo"+string(rune('a'+s%26)))
 	}
 	c := textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
-	g := blocking.Build(c, nil, blocking.Options{MinSharedTerms: 2})
+	g, err := blocking.Build(c, nil, blocking.Options{MinSharedTerms: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if g.NumPairs() == 0 {
 		b.Fatal("bench graph has no candidates")
 	}
@@ -91,6 +94,8 @@ func BenchmarkRunFusion(b *testing.B) {
 	opts := DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunFusion(g, g.NumRecords, opts)
+		if _, err := RunFusion(g, g.NumRecords, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

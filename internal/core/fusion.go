@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -23,6 +24,20 @@ type FusionResult struct {
 	// the inner ITER loop (the Figure 5 data, concatenated across fusion
 	// iterations).
 	ITERTrace [][]float64
+	// ITERIterations records, per fusion iteration, how many inner ITER
+	// iterations ran before the Σ|Δx_t| < ITERTol stop (or the
+	// ITERMaxIters cap).
+	ITERIterations []int
+	// Converged reports whether every inner ITER run reached its tolerance
+	// before hitting ITERMaxIters. When false, the result was truncated at
+	// the iteration cap and X/S carry the last (unconverged) sweep.
+	Converged bool
+	// NumericRepairs counts the non-finite values (NaN, ±Inf) detected in
+	// x, s or p across fusion rounds and replaced by the documented
+	// fallback (0 for weights and similarities; p additionally clamped to
+	// [0, 1]). A non-zero count signals a numeric instability upstream —
+	// the outputs remain finite but should be treated with suspicion.
+	NumericRepairs int
 	// Elapsed is the total wall-clock time of the fusion loop.
 	Elapsed time.Duration
 }
@@ -38,23 +53,42 @@ type FusionResult struct {
 //
 // After the last round, pairs with p >= η are declared matches.
 // opts.Progress, when set, observes every iteration (the Table V hook).
-func RunFusion(g *blocking.Graph, numRecords int, opts Options) *FusionResult {
+//
+// A zero opts.Seed is normalized to 1 (the library-wide default). When
+// opts.Check reports cancellation, RunFusion stops between sweeps and
+// returns the checkpoint's error with a nil result; after every round the
+// x/s/p vectors are scanned for NaN/±Inf and sanitized (see
+// FusionResult.NumericRepairs).
+func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, error) {
 	start := time.Now()
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	p := make([]float64, g.NumPairs())
 	for k := range p {
 		p[k] = 1
 	}
-	res := &FusionResult{}
+	res := &FusionResult{Converged: true}
 	iters := opts.FusionIterations
 	if iters < 1 {
 		iters = 1
 	}
 	for it := 1; it <= iters; it++ {
+		if err := opts.Check.Err(); err != nil {
+			return nil, err
+		}
 		iterRes := RunITER(g, p, opts, rng)
+		if err := opts.Check.Err(); err != nil {
+			return nil, err
+		}
 		res.X, res.S = iterRes.X, iterRes.S
 		res.ITERTrace = append(res.ITERTrace, iterRes.Updates)
+		res.ITERIterations = append(res.ITERIterations, iterRes.Iterations)
+		res.Converged = res.Converged && iterRes.Converged
+		res.NumericRepairs += sanitizeNonNegative(res.X)
+		res.NumericRepairs += sanitizeNonNegative(res.S)
 
 		res.Graph = BuildRecordGraph(g, res.S, numRecords)
 		if opts.UseRSS {
@@ -62,6 +96,10 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) *FusionResult {
 		} else {
 			p = CliqueRank(res.Graph, opts)
 		}
+		if err := opts.Check.Err(); err != nil {
+			return nil, err
+		}
+		res.NumericRepairs += sanitizeProbabilities(p)
 		if opts.Progress != nil {
 			opts.Progress(it, res.S, p, time.Since(start))
 		}
@@ -72,5 +110,43 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) *FusionResult {
 		res.Matches[k] = v >= opts.Eta
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
+}
+
+// sanitizeNonNegative replaces NaN/±Inf (and the negative values that only a
+// numeric fault can produce in term weights or shared-term similarities)
+// with 0 — the neutral element of both vectors: a zero term weight carries
+// no evidence and a zero similarity drops the edge from G_r. It returns the
+// number of repairs.
+func sanitizeNonNegative(v []float64) int {
+	n := 0
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			v[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// sanitizeProbabilities forces p into [0, 1]: NaN becomes 0 (no evidence),
+// +Inf and overshoots clamp to 1, -Inf and undershoots to 0. It returns the
+// number of repairs. Ordinary rounding noise is not counted — CliqueRank
+// already clamps per direction — so any repair here indicates a real fault.
+func sanitizeProbabilities(p []float64) int {
+	n := 0
+	for i, x := range p {
+		switch {
+		case math.IsNaN(x):
+			p[i] = 0
+			n++
+		case x > 1:
+			p[i] = 1
+			n++
+		case x < 0:
+			p[i] = 0
+			n++
+		}
+	}
+	return n
 }

@@ -1,9 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math"
 	"testing"
 	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/guard"
 )
+
+// mustFusion runs RunFusion and fails the test on an unexpected error.
+func mustFusion(t *testing.T, g *blocking.Graph, numRecords int, opts Options) *FusionResult {
+	t.Helper()
+	res, err := RunFusion(g, numRecords, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 // fusionTexts: three duplicate pairs plus noise records. Duplicates share
 // two discriminative terms; noise records attach to the cliques through
@@ -31,7 +47,7 @@ func TestRunFusionEndToEnd(t *testing.T) {
 	c, g := setup(fusionTexts...)
 	_ = c
 	opts := DefaultOptions()
-	res := RunFusion(g, len(fusionTexts), opts)
+	res := mustFusion(t, g, len(fusionTexts), opts)
 
 	matchPairs := [][2]int32{{0, 1}, {2, 3}, {4, 5}}
 	for _, mp := range matchPairs {
@@ -67,7 +83,7 @@ func TestRunFusionWithRSSBackend(t *testing.T) {
 	opts.UseRSS = true
 	opts.RSSWalks = 100
 	opts.FusionIterations = 2
-	res := RunFusion(g, len(fusionTexts), opts)
+	res := mustFusion(t, g, len(fusionTexts), opts)
 	id, _ := g.PairID(0, 1)
 	if !res.Matches[id] {
 		t.Errorf("RSS backend missed duplicate pair, p=%g", res.P[id])
@@ -90,7 +106,7 @@ func TestRunFusionProgressCallback(t *testing.T) {
 		}
 		lastElapsed = elapsed
 	}
-	RunFusion(g, len(fusionTexts), opts)
+	mustFusion(t, g, len(fusionTexts), opts)
 	if len(iterations) != 3 || iterations[0] != 1 || iterations[2] != 3 {
 		t.Errorf("callback iterations = %v, want [1 2 3]", iterations)
 	}
@@ -100,7 +116,7 @@ func TestRunFusionTraceMatchesIterations(t *testing.T) {
 	_, g := setup(fusionTexts...)
 	opts := DefaultOptions()
 	opts.FusionIterations = 4
-	res := RunFusion(g, len(fusionTexts), opts)
+	res := mustFusion(t, g, len(fusionTexts), opts)
 	if len(res.ITERTrace) != 4 {
 		t.Fatalf("trace has %d entries, want 4", len(res.ITERTrace))
 	}
@@ -119,8 +135,8 @@ func TestRunFusionTraceMatchesIterations(t *testing.T) {
 
 func TestRunFusionDeterministic(t *testing.T) {
 	_, g := setup(fusionTexts...)
-	a := RunFusion(g, len(fusionTexts), DefaultOptions())
-	b := RunFusion(g, len(fusionTexts), DefaultOptions())
+	a := mustFusion(t, g, len(fusionTexts), DefaultOptions())
+	b := mustFusion(t, g, len(fusionTexts), DefaultOptions())
 	for i := range a.P {
 		if a.P[i] != b.P[i] {
 			t.Fatal("fusion must be deterministic under a fixed seed")
@@ -141,7 +157,7 @@ func TestRunFusionStopWordDegeneracy(t *testing.T) {
 		"widget solo2 only2",
 	}
 	_, g := setup(texts...)
-	res := RunFusion(g, len(texts), DefaultOptions())
+	res := mustFusion(t, g, len(texts), DefaultOptions())
 	id, ok := g.PairID(2, 3)
 	if !ok {
 		t.Fatal("stop-word pair must be a candidate")
@@ -158,7 +174,7 @@ func TestRunFusionReinforcementSharpensSeparation(t *testing.T) {
 	margin := func(iters int) float64 {
 		opts := DefaultOptions()
 		opts.FusionIterations = iters
-		res := RunFusion(g, len(fusionTexts), opts)
+		res := mustFusion(t, g, len(fusionTexts), opts)
 		worstMatch, bestSpurious := 1.0, 0.0
 		for pid, pair := range g.Pairs {
 			isMatch := (pair.I == 0 && pair.J == 1) || (pair.I == 2 && pair.J == 3) || (pair.I == 4 && pair.J == 5)
@@ -175,5 +191,132 @@ func TestRunFusionReinforcementSharpensSeparation(t *testing.T) {
 	m5 := margin(5)
 	if m5 < m1-1e-9 {
 		t.Errorf("margin after 5 fusion rounds (%g) worse than after 1 (%g)", m5, m1)
+	}
+}
+
+func TestRunFusionCanceledCheckpoint(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Check = guard.FromContext(ctx)
+	res, err := RunFusion(g, len(fusionTexts), opts)
+	if res != nil {
+		t.Error("canceled fusion must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunFusionCancelMidRun(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := DefaultOptions()
+	opts.FusionIterations = 50
+	opts.Check = guard.FromContext(ctx)
+	fired := false
+	opts.Progress = func(it int, s, p []float64, elapsed time.Duration) {
+		if it == 2 && !fired {
+			fired = true
+			cancel()
+		}
+	}
+	_, err := RunFusion(g, len(fusionTexts), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation not surfaced: %v", err)
+	}
+}
+
+func TestRunFusionReportsConvergence(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	opts := DefaultOptions()
+	res := mustFusion(t, g, len(fusionTexts), opts)
+	if !res.Converged {
+		t.Error("default tolerance on the crafted corpus must converge")
+	}
+	if len(res.ITERIterations) != opts.FusionIterations {
+		t.Fatalf("ITERIterations has %d entries, want %d", len(res.ITERIterations), opts.FusionIterations)
+	}
+	for i, n := range res.ITERIterations {
+		if n < 1 || n > opts.ITERMaxIters {
+			t.Errorf("round %d used %d iterations, outside [1,%d]", i, n, opts.ITERMaxIters)
+		}
+		if n != len(res.ITERTrace[i]) {
+			t.Errorf("round %d: iterations %d != trace length %d", i, n, len(res.ITERTrace[i]))
+		}
+	}
+
+	// An impossible tolerance with a tiny cap must be reported as truncation,
+	// not silently returned as if converged.
+	opts.ITERTol = 0
+	opts.ITERMaxIters = 2
+	res = mustFusion(t, g, len(fusionTexts), opts)
+	if res.Converged {
+		t.Error("zero tolerance with a 2-iteration cap cannot converge")
+	}
+	for _, n := range res.ITERIterations {
+		if n != 2 {
+			t.Errorf("iterations-used = %d, want the cap 2", n)
+		}
+	}
+}
+
+func TestRunFusionZeroSeedEqualsSeedOne(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	zero := DefaultOptions()
+	zero.Seed = 0
+	one := DefaultOptions()
+	one.Seed = 1
+	a := mustFusion(t, g, len(fusionTexts), zero)
+	b := mustFusion(t, g, len(fusionTexts), one)
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatal("Seed 0 must behave exactly like the default seed 1")
+		}
+	}
+}
+
+func TestRunFusionOutputsFinite(t *testing.T) {
+	_, g := setup(fusionTexts...)
+	res := mustFusion(t, g, len(fusionTexts), DefaultOptions())
+	for i, v := range res.P {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Errorf("P[%d] = %g outside [0,1]", i, v)
+		}
+	}
+	for i, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("X[%d] = %g not finite", i, v)
+		}
+	}
+	if res.NumericRepairs != 0 {
+		t.Errorf("healthy corpus required %d numeric repairs", res.NumericRepairs)
+	}
+}
+
+func TestSanitizeNonNegative(t *testing.T) {
+	v := []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), -3, 0.5}
+	if n := sanitizeNonNegative(v); n != 4 {
+		t.Errorf("repairs = %d, want 4", n)
+	}
+	want := []float64{1, 0, 0, 0, 0, 0.5}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+}
+
+func TestSanitizeProbabilities(t *testing.T) {
+	p := []float64{0.5, math.NaN(), 2, -0.1, math.Inf(1), math.Inf(-1), 1}
+	if n := sanitizeProbabilities(p); n != 5 {
+		t.Errorf("repairs = %d, want 5", n)
+	}
+	want := []float64{0.5, 0, 1, 0, 1, 0, 1}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Errorf("p[%d] = %g, want %g", i, p[i], want[i])
+		}
 	}
 }

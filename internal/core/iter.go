@@ -18,6 +18,10 @@ type ITERResult struct {
 	Updates []float64
 	// Iterations is the number of inner iterations executed.
 	Iterations int
+	// Converged reports whether the loop stopped because Σ|Δx_t| fell
+	// below opts.ITERTol (as opposed to hitting opts.ITERMaxIters or being
+	// canceled mid-run).
+	Converged bool
 }
 
 // RunITER executes Algorithm 1 on the bipartite term/pair graph. p is the
@@ -56,6 +60,12 @@ func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITER
 	raw := make([]float64, len(active))
 
 	for iter := 0; iter < opts.ITERMaxIters; iter++ {
+		// Cancellation is polled once per sweep pair: a canceled run exits
+		// with the weights of the last completed iteration, and the caller
+		// (RunFusion) surfaces the checkpoint's error.
+		if opts.Check.Err() != nil {
+			break
+		}
 		// Term → pair sweep: s(ri,rj) = Σ shared x_t. Traversing the
 		// bipartite edges term-side gives the same sums without needing a
 		// per-pair term list.
@@ -76,6 +86,9 @@ func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITER
 		// x = x/(1+x) (the paper's 1/(1+1/x), written division-safely) or
 		// the L2 alternative §V-C mentions.
 		for k, t := range active {
+			if opts.Check.Tick() != nil {
+				break
+			}
 			pairIDs := g.TermPairs[t]
 			var acc float64
 			for _, pid := range pairIDs {
@@ -112,6 +125,7 @@ func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITER
 		res.Updates = append(res.Updates, delta)
 		res.Iterations = iter + 1
 		if delta < opts.ITERTol {
+			res.Converged = true
 			break
 		}
 	}

@@ -4,7 +4,11 @@
 // other (§IV, §VII-F).
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/guard"
+)
 
 // Options carries the framework parameters. The defaults are the universal
 // setting of §VII-C: α = 20, S = 20, η = 0.98, 5 fusion iterations — the
@@ -49,8 +53,16 @@ type Options struct {
 	DisableDenominator bool
 
 	// Seed drives all randomness (x_t initialization, bonus draws, RSS
-	// walks); runs with equal seeds are identical.
+	// walks); runs with equal seeds are identical. A zero Seed selects the
+	// default seed 1, matching the zero-value behavior of er.ReplicaConfig
+	// and er.Options.
 	Seed int64
+
+	// Check, when non-nil, is polled from the hot loops of ITER, CliqueRank
+	// and RSS. Once it reports cancellation, RunFusion abandons the
+	// remaining work and returns the checkpoint's error (for context-backed
+	// checkpoints: context.Canceled or context.DeadlineExceeded).
+	Check *guard.Checkpoint
 
 	// Progress, when non-nil, is invoked after every fusion iteration with
 	// the iteration number (1-based), the current pair similarities and

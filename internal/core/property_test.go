@@ -128,7 +128,7 @@ func TestFusionScalesWithEta(t *testing.T) {
 	for _, eta := range []float64{0.5, 0.9, 0.999} {
 		opts := DefaultOptions()
 		opts.Eta = eta
-		res := RunFusion(g, len(fusionTexts), opts)
+		res := mustFusion(t, g, len(fusionTexts), opts)
 		n := 0
 		for _, m := range res.Matches {
 			if m {

@@ -44,8 +44,18 @@ func sampleEdges(rg *RecordGraph, opts Options, pairIDs []int32, out []float64) 
 	if m < 2 {
 		m = 2
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	matrix.ParallelRange(len(pairIDs), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
+			// Each edge costs M walks of up to S steps; polling per edge
+			// bounds post-cancellation work to one edge per worker. The
+			// zeros left in out are discarded by RunFusion alongside the
+			// checkpoint's error.
+			if opts.Check.Tick() != nil {
+				return
+			}
 			pid := pairIDs[k]
 			slot := rg.PairSlot[pid]
 			if slot < 0 {

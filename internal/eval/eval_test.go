@@ -178,7 +178,10 @@ func TestTermScores(t *testing.T) {
 		[]string{"aa bb", "aa bb", "aa cc", "dd"},
 		textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()},
 	)
-	g := blocking.Build(c, nil, blocking.Options{})
+	g, err := blocking.Build(c, nil, blocking.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// ground truth: records 0 and 1 match.
 	truth := map[uint64]bool{blocking.Key(0, 1): true}
 	scores := TermScores(g, truth)

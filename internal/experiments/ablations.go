@@ -55,7 +55,10 @@ func runFusionF1(p *er.Pipeline, modify func(*core.Options)) float64 {
 	if modify != nil {
 		modify(&opts)
 	}
-	res := core.RunFusion(g, g.NumRecords, opts)
+	res, err := core.RunFusion(g, g.NumRecords, opts)
+	if err != nil {
+		return 0
+	}
 	if m, ok := p.EvaluateMatches(res.Matches); ok {
 		return m.F1
 	}

@@ -1,0 +1,156 @@
+// Package faultcheck provides deterministic fault-injection primitives for
+// robustness testing: a chaos io.Reader that fragments and corrupts byte
+// streams the way unreliable transports do, and adversarial dataset
+// generators covering the degenerate corpus shapes that break naive
+// entity-resolution pipelines (empty texts, single records, all-identical
+// records, one giant block, unicode garbage).
+//
+// Everything is seeded and reproducible: the same configuration always
+// injects the same faults, so a failure found by the harness can be
+// replayed as a regression test.
+package faultcheck
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// ErrInjected is the error a ChaosReader returns when its failure point is
+// reached. Tests assert on it with errors.Is to distinguish injected faults
+// from genuine ones.
+var ErrInjected = errors.New("faultcheck: injected read error")
+
+// ChaosReader wraps an io.Reader with deterministic fault injection. Reads
+// are fragmented into short random chunks (exercising every resumption path
+// in the consumer), and an error can be injected after a byte threshold
+// (exercising mid-stream failure handling).
+type ChaosReader struct {
+	src io.Reader
+	rng *rand.Rand
+
+	// MaxChunk caps the bytes returned per Read call; 0 disables
+	// fragmentation. Chunk sizes are drawn uniformly from [1, MaxChunk].
+	MaxChunk int
+	// FailAfter injects ErrInjected once this many bytes have been
+	// delivered; negative (the default from New) never fails.
+	FailAfter int64
+
+	delivered int64
+	failed    bool
+}
+
+// New returns a ChaosReader over src with deterministic randomness. By
+// default it only fragments (MaxChunk 7) and never fails; adjust MaxChunk
+// and FailAfter to taste.
+func New(src io.Reader, seed int64) *ChaosReader {
+	return &ChaosReader{src: src, rng: rand.New(rand.NewSource(seed)), MaxChunk: 7, FailAfter: -1}
+}
+
+// Read implements io.Reader with short reads and the configured mid-stream
+// failure. After the failure point every call keeps returning ErrInjected,
+// matching how a broken socket stays broken.
+func (c *ChaosReader) Read(p []byte) (int, error) {
+	if c.failed {
+		return 0, ErrInjected
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := len(p)
+	if c.MaxChunk > 0 && n > c.MaxChunk {
+		n = 1 + c.rng.Intn(c.MaxChunk)
+	}
+	if c.FailAfter >= 0 {
+		if remaining := c.FailAfter - c.delivered; remaining <= 0 {
+			c.failed = true
+			return 0, ErrInjected
+		} else if int64(n) > remaining {
+			n = int(remaining)
+		}
+	}
+	n, err := c.src.Read(p[:n])
+	c.delivered += int64(n)
+	return n, err
+}
+
+// Record mirrors er.Record structurally (text, source, entity label)
+// without importing the root package, so both the root tests and internal
+// tests can consume the generators.
+type Record struct {
+	Text   string
+	Source int
+	Entity string
+}
+
+// Case is one adversarial dataset: a name for subtests and the records.
+type Case struct {
+	Name    string
+	Records []Record
+}
+
+// Cases returns the adversarial dataset suite. Every case is deterministic.
+// The suite deliberately includes inputs where blocking produces zero
+// candidate pairs, exactly one record, quadratically many pairs from a
+// single block, and tokenizer-hostile byte sequences — a robust pipeline
+// must return finite, panic-free results on all of them.
+func Cases() []Case {
+	return []Case{
+		{Name: "empty-texts", Records: repeat(6, func(i int) Record {
+			return Record{Text: ""}
+		})},
+		{Name: "one-record", Records: []Record{{Text: "single lonely record"}}},
+		{Name: "all-identical", Records: repeat(12, func(i int) Record {
+			return Record{Text: "acme turbo encabulator 9000"}
+		})},
+		{Name: "single-giant-block", Records: repeat(30, func(i int) Record {
+			// Every record shares the same two terms, so blocking puts all
+			// of them in one block and emits the full quadratic pair set.
+			return Record{Text: "blk common u" + string(rune('a'+i%26)) + string(rune('a'+i/26))}
+		})},
+		{Name: "unicode-garbage", Records: unicodeGarbage(10, 99)},
+		{Name: "whitespace-only", Records: repeat(4, func(i int) Record {
+			return Record{Text: " \t\n\v  "}
+		})},
+	}
+}
+
+func repeat(n int, gen func(i int) Record) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = gen(i)
+	}
+	return out
+}
+
+// unicodeGarbage builds records of tokenizer-hostile runes: combining
+// marks, bidirectional controls, zero-width joiners, astral-plane symbols,
+// lone control bytes and invalid UTF-8.
+func unicodeGarbage(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	hostile := []string{
+		"́̂̃",                    // combining marks with no base
+		"‮‭",                     // bidi overrides
+		"‍‌",                     // zero-width joiner / non-joiner
+		"\U0001F4A9\U0001F680",   // astral-plane emoji
+		"\x00\x01\x02",           // control bytes
+		"\xff\xfe\xfd",           // invalid UTF-8
+		"ﬁﬂﬀ",                    // ligatures
+		"ｆｕｌｌｗｉｄｔｈ",              // fullwidth forms
+		"אְבֱ",                   // RTL with points
+		strings.Repeat("ä", 300), // long run of two-byte runes
+	}
+	out := make([]Record, n)
+	for i := range out {
+		var b strings.Builder
+		for w := 0; w < 3+rng.Intn(4); w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(hostile[rng.Intn(len(hostile))])
+		}
+		out[i] = Record{Text: b.String()}
+	}
+	return out
+}

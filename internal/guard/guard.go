@@ -1,0 +1,81 @@
+// Package guard provides a lightweight cancellation checkpoint for the hot
+// loops of the resolution pipeline. The internal algorithm packages (core,
+// blocking) stay free of request-scoped plumbing: they hold an optional
+// *Checkpoint and poll it with Tick/Err every few iterations, while the
+// public er package constructs checkpoints from a context.Context. A nil
+// *Checkpoint is valid everywhere and never reports cancellation, so callers
+// that do not need cancellation pay a single nil check per poll.
+package guard
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// DefaultStride is the number of Tick calls between actual cancellation
+// polls. Polling a channel involves a select; a stride amortizes it to one
+// atomic add per call, which is negligible inside even the tightest loops.
+const DefaultStride = 256
+
+// Checkpoint is a cheap, concurrency-safe cancellation poll. It is shared by
+// every goroutine of one resolution run; all methods are safe for concurrent
+// use and safe on a nil receiver.
+type Checkpoint struct {
+	done   <-chan struct{}
+	cause  func() error
+	stride uint64
+	ticks  atomic.Uint64
+}
+
+// New builds a checkpoint that reports cancellation once done is closed,
+// with cause() supplying the error. A nil done channel never cancels.
+func New(done <-chan struct{}, cause func() error) *Checkpoint {
+	if done == nil {
+		return nil
+	}
+	return &Checkpoint{done: done, cause: cause, stride: DefaultStride}
+}
+
+// FromContext adapts a context to a checkpoint. Contexts that can never be
+// canceled (context.Background, context.TODO) yield a nil checkpoint, which
+// keeps the pipeline's fast path free of channel operations.
+func FromContext(ctx context.Context) *Checkpoint {
+	if ctx == nil {
+		return nil
+	}
+	return New(ctx.Done(), func() error { return ctx.Err() })
+}
+
+// Err polls the cancellation signal immediately. It returns the cause (for a
+// context: context.Canceled or context.DeadlineExceeded) once the checkpoint
+// is canceled, and nil before that or on a nil checkpoint.
+func (c *Checkpoint) Err() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		if err := c.cause(); err != nil {
+			return err
+		}
+		// The channel is closed but the cause is not set yet (possible in a
+		// narrow race when a context's Done closes before Err is published);
+		// report generic cancellation.
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// Tick is the amortized poll for inner loops: it performs one atomic add per
+// call and only inspects the cancellation channel every DefaultStride calls.
+// It returns the same errors as Err.
+func (c *Checkpoint) Tick() error {
+	if c == nil {
+		return nil
+	}
+	if c.ticks.Add(1)%c.stride != 0 {
+		return nil
+	}
+	return c.Err()
+}

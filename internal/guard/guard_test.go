@@ -1,0 +1,89 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilCheckpointNeverCancels(t *testing.T) {
+	var c *Checkpoint
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil checkpoint Err = %v", err)
+	}
+	for i := 0; i < 3*DefaultStride; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatalf("nil checkpoint Tick = %v", err)
+		}
+	}
+}
+
+func TestFromBackgroundContextIsNil(t *testing.T) {
+	if c := FromContext(context.Background()); c != nil {
+		t.Fatal("background context must yield a nil (free) checkpoint")
+	}
+	if c := FromContext(nil); c != nil {
+		t.Fatal("nil context must yield a nil checkpoint")
+	}
+}
+
+func TestErrReportsCancellationCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := FromContext(ctx)
+	if c == nil {
+		t.Fatal("cancelable context must yield a checkpoint")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("premature cancellation: %v", err)
+	}
+	cancel()
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTickPollsEveryStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := FromContext(ctx)
+	var got error
+	for i := 0; i < DefaultStride; i++ {
+		if err := c.Tick(); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("Tick never observed cancellation within one stride: %v", got)
+	}
+}
+
+func TestCheckpointConcurrentTicks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := FromContext(ctx)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		t.Fatalf("uncanceled checkpoint reported %v", err)
+	}
+}
+
+func TestNewWithClosedChannelAndNilCause(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	c := New(done, func() error { return nil })
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("closed channel with unset cause: Err = %v, want context.Canceled", err)
+	}
+}

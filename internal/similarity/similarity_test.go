@@ -13,7 +13,10 @@ import (
 
 func setup(texts ...string) (*textproc.Corpus, *blocking.Graph) {
 	c := textproc.BuildCorpus(texts, textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()})
-	g := blocking.Build(c, nil, blocking.Options{})
+	g, err := blocking.Build(c, nil, blocking.Options{})
+	if err != nil {
+		panic(err)
+	}
 	return c, g
 }
 

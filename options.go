@@ -60,8 +60,25 @@ type Options struct {
 	// preserved; only the weight scale changes.
 	L2Normalization bool
 
-	// Seed drives every random choice in the pipeline.
+	// Seed drives every random choice in the pipeline. A zero Seed selects
+	// the default seed 1 — the same zero-value behavior as ReplicaConfig —
+	// so runs configured with the zero value are reproducible by default.
 	Seed int64
+
+	// MaxCandidatePairs caps the number of candidate pairs blocking may
+	// hand to the quadratic-and-worse downstream stages; 0 disables the
+	// cap. When natural blocking exceeds it, the pipeline degrades
+	// gracefully: it tightens MinJaccard and MaxTermRecords and retries,
+	// truncating deterministically as a last resort, and reports every
+	// step in Result.Degradation (Pipeline.Degradation).
+	MaxCandidatePairs int
+	// MaxWallClock bounds the wall-clock time of ResolveContext (the whole
+	// run) and, for staged callers, of NewPipelineContext and
+	// Pipeline.FusionContext individually; 0 disables the bound. When it
+	// elapses, the run aborts with an error wrapping both
+	// ErrBudgetExceeded and context.DeadlineExceeded. The error-free
+	// legacy entry points (NewPipeline, Pipeline.Fusion) ignore it.
+	MaxWallClock time.Duration
 
 	// Progress, when non-nil, observes each fusion iteration with the
 	// current pair similarities, matching probabilities and cumulative
@@ -84,9 +101,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// Validate reports the first configuration error, or nil. Resolve and
-// NewPipeline accept any options; Validate exists for callers assembling
-// options from external configuration.
+// Validate reports the first configuration error, or nil. Resolve,
+// ResolveContext and NewPipelineContext reject invalid options with an
+// error wrapping ErrInvalidOptions; NewPipeline (which cannot return an
+// error) normalizes invalid fields to their defaults instead — see
+// normalized.
 func (o Options) Validate() error {
 	switch {
 	case o.Alpha <= 0:
@@ -103,8 +122,49 @@ func (o Options) Validate() error {
 		return fmt.Errorf("er: MinJaccard must be in [0,1], got %g", o.MinJaccard)
 	case o.UseRSS && o.RSSWalks < 2:
 		return fmt.Errorf("er: RSSWalks must be >= 2 when UseRSS is set, got %d", o.RSSWalks)
+	case o.MaxCandidatePairs < 0:
+		return fmt.Errorf("er: MaxCandidatePairs must be >= 0, got %d", o.MaxCandidatePairs)
+	case o.MaxWallClock < 0:
+		return fmt.Errorf("er: MaxWallClock must be >= 0, got %s", o.MaxWallClock)
 	}
 	return nil
+}
+
+// normalized returns a copy with every invalid field reset to its default,
+// so that NewPipeline — whose signature predates the error taxonomy and
+// cannot fail — behaves deterministically on any input instead of
+// panicking. Context-aware callers go through Validate and never reach the
+// fallbacks.
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.Alpha <= 0 {
+		o.Alpha = d.Alpha
+	}
+	if o.Steps < 1 {
+		o.Steps = d.Steps
+	}
+	if o.Eta < 0 || o.Eta > 1 {
+		o.Eta = d.Eta
+	}
+	if o.FusionIterations < 1 {
+		o.FusionIterations = d.FusionIterations
+	}
+	if o.MaxDFRatio < 0 || o.MaxDFRatio > 1 {
+		o.MaxDFRatio = d.MaxDFRatio
+	}
+	if o.MinJaccard < 0 || o.MinJaccard > 1 {
+		o.MinJaccard = d.MinJaccard
+	}
+	if o.UseRSS && o.RSSWalks < 2 {
+		o.RSSWalks = d.RSSWalks
+	}
+	if o.MaxCandidatePairs < 0 {
+		o.MaxCandidatePairs = 0
+	}
+	if o.MaxWallClock < 0 {
+		o.MaxWallClock = 0
+	}
+	return o
 }
 
 func (o Options) coreOptions() core.Options {

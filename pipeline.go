@@ -1,6 +1,10 @@
 package er
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -9,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/guard"
 	"repro/internal/similarity"
 	"repro/internal/textproc"
 )
@@ -18,29 +23,183 @@ import (
 // score slices returned by its methods are aligned: index k refers to
 // candidate pair k.
 type Pipeline struct {
-	dataset *Dataset
-	opts    Options
-	corpus  *textproc.Corpus
-	graph   *blocking.Graph
-	truth   map[uint64]bool
+	dataset     *Dataset
+	opts        Options
+	corpus      *textproc.Corpus
+	graph       *blocking.Graph
+	truth       map[uint64]bool
+	degradation *DegradationReport
+}
+
+// DegradationReport describes how the pipeline degraded candidate
+// generation to satisfy Options.MaxCandidatePairs. Degradation is lossy by
+// design — tightened filters and truncation can drop true matches — so
+// every step is recorded for the caller to audit.
+type DegradationReport struct {
+	// OriginalPairs is the candidate count of the untightened blocking pass
+	// that exceeded the budget.
+	OriginalPairs int
+	// FinalPairs is the candidate count actually handed downstream.
+	FinalPairs int
+	// MinJaccard and MaxTermRecords are the effective blocking parameters
+	// of the final pass (tighter than the configured ones).
+	MinJaccard     float64
+	MaxTermRecords int
+	// TruncatedPairs counts pairs dropped by the deterministic last-resort
+	// truncation after parameter tightening alone could not reach the
+	// budget; 0 when tightening sufficed.
+	TruncatedPairs int
+	// Steps narrates each degradation step in order, for logs and CLIs.
+	Steps []string
 }
 
 // NewPipeline tokenizes the dataset, applies the frequent-term filter and
 // generates candidate pairs (cross-source only for multi-source data).
+// Invalid options are normalized to their defaults field by field; callers
+// that want invalid configurations rejected (and cancellation, and real
+// errors) should use NewPipelineContext instead.
 func NewPipeline(d *Dataset, opts Options) *Pipeline {
+	p, err := buildPipeline(context.Background(), d, opts.normalized())
+	if err != nil {
+		// Unreachable: a background context cannot cancel and er.Dataset
+		// guarantees source labels aligned with records. Kept as a panic so
+		// a future regression fails loudly in tests rather than silently.
+		panic(err)
+	}
+	return p
+}
+
+// NewPipelineContext is the context-aware, error-returning constructor:
+// it rejects invalid options (ErrInvalidOptions) and empty datasets
+// (ErrNoRecords), honors ctx cancellation and the MaxWallClock budget
+// during candidate generation, and applies the MaxCandidatePairs budget
+// with graceful degradation (see DegradationReport).
+func NewPipelineContext(ctx context.Context, d *Dataset, opts Options) (p *Pipeline, err error) {
+	defer recoverToError(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if d == nil || d.NumRecords() == 0 {
+		return nil, ErrNoRecords
+	}
+	ctx, cancel := opts.withWallClock(ctx)
+	defer cancel()
+	return buildPipeline(ctx, d, opts)
+}
+
+// withWallClock derives the MaxWallClock budget context (a no-op cancel
+// when the budget is disabled). The budget's expiry is distinguishable
+// from a caller deadline via context.Cause, which carries
+// ErrBudgetExceeded.
+func (o Options) withWallClock(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.MaxWallClock > 0 {
+		return context.WithTimeoutCause(ctx, o.MaxWallClock, ErrBudgetExceeded)
+	}
+	return ctx, func() {}
+}
+
+// buildPipeline is the shared constructor body. ctx must already carry any
+// wall-clock budget; opts must already be validated or normalized.
+func buildPipeline(ctx context.Context, d *Dataset, opts Options) (*Pipeline, error) {
+	check := guard.FromContext(ctx)
+	if err := check.Err(); err != nil {
+		return nil, wrapRunErr(ctx, err)
+	}
 	corpus := textproc.BuildCorpus(d.ds.Texts(), opts.corpusOptions())
 	bOpts := blocking.Options{
 		CrossSourceOnly: d.ds.NumSources > 1,
 		MaxTermRecords:  opts.MaxTermRecords,
 		MinSharedTerms:  opts.MinSharedTerms,
 		MinJaccard:      opts.MinJaccard,
+		Check:           check,
 	}
-	g := blocking.Build(corpus, d.ds.Sources(), bOpts)
-	p := &Pipeline{dataset: d, opts: opts, corpus: corpus, graph: g}
+	build := func() (*blocking.Graph, error) {
+		g, err := blocking.Build(corpus, d.ds.Sources(), bOpts)
+		if err != nil {
+			if ctxErr := check.Err(); ctxErr != nil {
+				return nil, wrapRunErr(ctx, ctxErr)
+			}
+			return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+		}
+		return g, nil
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	var report *DegradationReport
+	if budget := opts.MaxCandidatePairs; budget > 0 && g.NumPairs() > budget {
+		report = &DegradationReport{
+			OriginalPairs:  g.NumPairs(),
+			MinJaccard:     opts.MinJaccard,
+			MaxTermRecords: opts.MaxTermRecords,
+		}
+		// Tighten the two blocking knobs geometrically and rebuild. Each
+		// attempt prunes the weakest candidates first (low-Jaccard pairs,
+		// pairs generated only by high-frequency terms), which is the
+		// degradation order that costs the least recall per dropped pair.
+		for attempt := 0; attempt < 4 && g.NumPairs() > budget; attempt++ {
+			report.MinJaccard = math.Min(0.9, report.MinJaccard+0.15)
+			if report.MaxTermRecords <= 0 || report.MaxTermRecords > 256 {
+				report.MaxTermRecords = 256
+			} else if report.MaxTermRecords > 8 {
+				report.MaxTermRecords = report.MaxTermRecords / 2
+			}
+			bOpts.MinJaccard = report.MinJaccard
+			bOpts.MaxTermRecords = report.MaxTermRecords
+			if g, err = build(); err != nil {
+				return nil, err
+			}
+			report.Steps = append(report.Steps, fmt.Sprintf(
+				"tightened blocking to MinJaccard=%.2f MaxTermRecords=%d: %d pairs",
+				report.MinJaccard, report.MaxTermRecords, g.NumPairs()))
+		}
+		if g.NumPairs() > budget {
+			report.TruncatedPairs = g.NumPairs() - budget
+			g = blocking.Truncate(g, budget)
+			report.Steps = append(report.Steps, fmt.Sprintf(
+				"truncated %d pairs beyond the budget of %d", report.TruncatedPairs, budget))
+		}
+		report.FinalPairs = g.NumPairs()
+	}
+
+	p := &Pipeline{dataset: d, opts: opts, corpus: corpus, graph: g, degradation: report}
 	if d.HasGroundTruth() {
 		p.truth = d.ds.TrueMatches()
 	}
-	return p
+	return p, nil
+}
+
+// Degradation returns the report of the MaxCandidatePairs budget
+// degradation, or nil when the budget was disabled or never exceeded.
+func (p *Pipeline) Degradation() *DegradationReport { return p.degradation }
+
+// CheckCandidates reports whether the pipeline has any work to do:
+// ErrNoRecords for an empty dataset, ErrNoCandidates when no two records
+// share a term (so nothing can ever match), nil otherwise. An empty
+// candidate set is a valid input to every scoring method — this check
+// exists for callers that want to surface the condition instead.
+func (p *Pipeline) CheckCandidates() error {
+	if p.dataset.NumRecords() == 0 {
+		return ErrNoRecords
+	}
+	if p.graph.NumPairs() == 0 {
+		return ErrNoCandidates
+	}
+	return nil
+}
+
+// wrapRunErr translates a cancellation observed by the internal layers into
+// the library taxonomy: expiry of the MaxWallClock budget (identified via
+// the context cause) wraps ErrBudgetExceeded alongside
+// context.DeadlineExceeded; everything else wraps the context's own error
+// (context.Canceled or context.DeadlineExceeded from the caller's context).
+func wrapRunErr(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); errors.Is(cause, ErrBudgetExceeded) {
+		return fmt.Errorf("er: wall-clock budget exhausted: %w; %w", ErrBudgetExceeded, context.DeadlineExceeded)
+	}
+	return fmt.Errorf("er: resolution aborted: %w", err)
 }
 
 // NumCandidates returns the number of candidate pairs.
@@ -96,7 +255,13 @@ func (p *Pipeline) PageRank() (scores, salience []float64) {
 func (p *Pipeline) Hybrid(beta float64) []float64 {
 	sb := p.SimRank()
 	su, _ := p.PageRank()
-	return baselines.Hybrid(sb, su, beta)
+	// Both inputs come from the same candidate graph, so the misalignment
+	// error baselines.Hybrid guards against cannot occur here.
+	out, err := baselines.Hybrid(sb, su, beta)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // FusionOutcome is the result of the full ITER+CliqueRank framework.
@@ -114,13 +279,52 @@ type FusionOutcome struct {
 	// ITERUpdateTrace concatenates the Σ|Δx_t| per inner ITER iteration
 	// across fusion rounds (the Figure 5 series).
 	ITERUpdateTrace [][]float64
+	// Converged reports whether every inner ITER loop reached its update
+	// tolerance before hitting the iteration cap; ITERIterations holds the
+	// inner iteration count of each fusion round.
+	Converged      bool
+	ITERIterations []int
+	// NumericRepairs counts non-finite or out-of-range values (NaN, ±Inf,
+	// negative weights, probabilities outside [0,1]) that the numeric
+	// guardrails replaced with their documented fallbacks; 0 on a healthy
+	// run.
+	NumericRepairs int
 	// Elapsed is the wall-clock time of the fusion loop.
 	Elapsed time.Duration
 }
 
-// Fusion runs the full unsupervised framework.
+// Fusion runs the full unsupervised framework. This error-free legacy
+// entry point runs unbounded — it has no channel to report an exhausted
+// budget — so MaxWallClock is ignored here; use FusionContext for bounded
+// runs.
 func (p *Pipeline) Fusion() *FusionOutcome {
-	res := core.RunFusion(p.graph, p.dataset.NumRecords(), p.opts.coreOptions())
+	q := *p
+	q.opts.MaxWallClock = 0
+	// A background context without a budget cannot cancel, which is the
+	// only error path of FusionContext, so the error is unreachable here.
+	out, err := q.FusionContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// FusionContext runs the full unsupervised framework under ctx: the fusion
+// loop polls for cancellation and returns an error wrapping the context's
+// error (and ErrBudgetExceeded, if the MaxWallClock budget's deadline is
+// the cause) instead of completing. MaxWallClock is applied here too, so
+// staged callers (NewPipelineContext then FusionContext) get each stage
+// bounded by the budget; under ResolveContext the outer whole-run timer
+// still governs, because a derived context can never outlive its parent.
+func (p *Pipeline) FusionContext(ctx context.Context) (*FusionOutcome, error) {
+	ctx, cancel := p.opts.withWallClock(ctx)
+	defer cancel()
+	cOpts := p.opts.coreOptions()
+	cOpts.Check = guard.FromContext(ctx)
+	res, err := core.RunFusion(p.graph, p.dataset.NumRecords(), cOpts)
+	if err != nil {
+		return nil, wrapRunErr(ctx, err)
+	}
 	return &FusionOutcome{
 		TermWeights:     res.X,
 		Similarities:    res.S,
@@ -129,8 +333,11 @@ func (p *Pipeline) Fusion() *FusionOutcome {
 		GraphNodes:      res.Graph.NumNodes(),
 		GraphEdges:      res.Graph.NumEdges(),
 		ITERUpdateTrace: res.ITERTrace,
+		Converged:       res.Converged,
+		ITERIterations:  res.ITERIterations,
+		NumericRepairs:  res.NumericRepairs,
 		Elapsed:         res.Elapsed,
-	}
+	}, nil
 }
 
 // Metrics is a pairwise precision/recall/F1 evaluation result.
@@ -341,21 +548,62 @@ type Result struct {
 	Evaluation *Metrics
 	// GraphNodes/GraphEdges describe the record graph.
 	GraphNodes, GraphEdges int
+	// Converged reports whether every ITER loop reached its tolerance
+	// before its iteration cap.
+	Converged bool
+	// NumericRepairs counts values repaired by the numeric guardrails
+	// (see FusionOutcome.NumericRepairs); 0 on a healthy run.
+	NumericRepairs int
+	// Degradation reports how candidate generation was degraded to satisfy
+	// Options.MaxCandidatePairs; nil when no degradation was needed.
+	Degradation *DegradationReport
 	// Elapsed is the fusion wall-clock time.
 	Elapsed time.Duration
 }
 
 // Resolve runs the full unsupervised pipeline on a dataset: tokenize, block,
-// iterate ITER ⇄ CliqueRank, threshold at η and cluster.
+// iterate ITER ⇄ CliqueRank, threshold at η and cluster. It is
+// ResolveContext with a background context.
 func Resolve(d *Dataset, opts Options) (*Result, error) {
-	p := NewPipeline(d, opts)
-	out := p.Fusion()
-	res := &Result{
-		Probabilities: out.Probabilities,
-		Clusters:      p.Clusters(out.Matched),
-		GraphNodes:    out.GraphNodes,
-		GraphEdges:    out.GraphEdges,
-		Elapsed:       out.Elapsed,
+	return ResolveContext(context.Background(), d, opts)
+}
+
+// ResolveContext is Resolve under a context: cancellation and deadlines are
+// polled from every hot loop (blocking enumeration, ITER sweeps, CliqueRank
+// power iterations, RSS sampling), so a canceled context aborts the run
+// promptly with an error wrapping context.Canceled or
+// context.DeadlineExceeded. The Options budgets are enforced here:
+// MaxWallClock bounds the whole run (its expiry wraps ErrBudgetExceeded and
+// context.DeadlineExceeded), and MaxCandidatePairs degrades candidate
+// generation gracefully, reported in Result.Degradation. Internal panics
+// are converted into errors wrapping ErrInternal.
+func ResolveContext(ctx context.Context, d *Dataset, opts Options) (res *Result, err error) {
+	defer recoverToError(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if d == nil || d.NumRecords() == 0 {
+		return nil, ErrNoRecords
+	}
+	ctx, cancel := opts.withWallClock(ctx)
+	defer cancel()
+	p, err := buildPipeline(ctx, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.FusionContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{
+		Probabilities:  out.Probabilities,
+		Clusters:       p.Clusters(out.Matched),
+		GraphNodes:     out.GraphNodes,
+		GraphEdges:     out.GraphEdges,
+		Converged:      out.Converged,
+		NumericRepairs: out.NumericRepairs,
+		Degradation:    p.degradation,
+		Elapsed:        out.Elapsed,
 	}
 	for k, matched := range out.Matched {
 		if !matched {

@@ -1,0 +1,348 @@
+package er_test
+
+// Robustness acceptance tests for the hardened execution layer: context
+// cancellation latency, resource budgets with graceful degradation, the
+// error taxonomy, degenerate inputs, and the adversarial dataset suite
+// exercised against every scoring method.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	er "repro"
+	"repro/internal/faultcheck"
+)
+
+func finite(t *testing.T, label string, v []float64) {
+	t.Helper()
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("%s[%d] = %g is not finite", label, i, x)
+		}
+	}
+}
+
+func probabilities(t *testing.T, label string, v []float64) {
+	t.Helper()
+	finite(t, label, v)
+	for i, x := range v {
+		if x < 0 || x > 1 {
+			t.Fatalf("%s[%d] = %g outside [0,1]", label, i, x)
+		}
+	}
+}
+
+func toRecords(rs []faultcheck.Record) []er.Record {
+	out := make([]er.Record, len(rs))
+	for i, r := range rs {
+		out[i] = er.Record{Text: r.Text, Source: r.Source, Entity: r.Entity}
+	}
+	return out
+}
+
+// TestAdversarialCasesAllMethods runs every scoring method of the pipeline
+// on every adversarial dataset of the fault-injection suite. No method may
+// panic or emit a non-finite score, whatever the corpus shape.
+func TestAdversarialCasesAllMethods(t *testing.T) {
+	for _, tc := range faultcheck.Cases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			d := er.NewDataset(tc.Name, toRecords(tc.Records))
+			p := er.NewPipeline(d, er.DefaultOptions())
+			methods := map[string]func() []float64{
+				"jaccard":     p.Jaccard,
+				"tfidf":       p.TFIDF,
+				"soft-tfidf":  p.SoftTFIDF,
+				"monge-elkan": p.MongeElkan,
+				"simrank":     p.SimRank,
+				"birank":      func() []float64 { s, _ := p.BiRank(); return s },
+				"pagerank":    func() []float64 { s, _ := p.PageRank(); return s },
+				"hybrid":      func() []float64 { return p.Hybrid(0.5) },
+			}
+			for name, method := range methods {
+				scores := method()
+				if len(scores) != p.NumCandidates() {
+					t.Fatalf("%s: %d scores for %d candidates", name, len(scores), p.NumCandidates())
+				}
+				finite(t, name, scores)
+			}
+			out := p.Fusion()
+			finite(t, "term-weights", out.TermWeights)
+			finite(t, "similarities", out.Similarities)
+			probabilities(t, "probabilities", out.Probabilities)
+			if out.NumericRepairs != 0 {
+				t.Errorf("fusion needed %d numeric repairs", out.NumericRepairs)
+			}
+			res, err := er.Resolve(d, er.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Resolve: %v", err)
+			}
+			seen := 0
+			for _, c := range res.Clusters {
+				seen += len(c)
+			}
+			if seen != d.NumRecords() {
+				t.Fatalf("clusters cover %d of %d records", seen, d.NumRecords())
+			}
+		})
+	}
+}
+
+// TestResolveContextCanceledFast is the latency acceptance criterion:
+// calling ResolveContext with an already-canceled context on the Paper
+// replica must return an error wrapping context.Canceled in under 100ms.
+func TestResolveContextCanceledFast(t *testing.T) {
+	d := er.PaperReplica(er.ReplicaConfig{}) // generated outside the timed window
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := er.ResolveContext(ctx, d, er.DefaultOptions())
+	elapsed := time.Since(start)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got res=%v err=%v", res, err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled resolve took %s, want < 100ms", elapsed)
+	}
+}
+
+// TestResolveContextCancelMidRun cancels while the fusion loop is running
+// (from the Progress callback) and requires a prompt cooperative abort.
+func TestResolveContextCancelMidRun(t *testing.T) {
+	d := er.ProductReplica(er.ReplicaConfig{Scale: 0.3})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := er.DefaultOptions()
+	opts.FusionIterations = 50
+	opts.Progress = func(it int, s, p []float64, elapsed time.Duration) {
+		if it == 1 {
+			cancel()
+		}
+	}
+	res, err := er.ResolveContext(ctx, d, opts)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got res=%v err=%v", res, err)
+	}
+}
+
+// TestMaxWallClockBudget requires an expired wall-clock budget to surface
+// as an error wrapping BOTH ErrBudgetExceeded and context.DeadlineExceeded.
+func TestMaxWallClockBudget(t *testing.T) {
+	d := er.ProductReplica(er.ReplicaConfig{Scale: 0.3})
+	opts := er.DefaultOptions()
+	opts.MaxWallClock = time.Nanosecond
+	res, err := er.ResolveContext(context.Background(), d, opts)
+	if res != nil || err == nil {
+		t.Fatalf("want budget error, got res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, er.ErrBudgetExceeded) {
+		t.Fatalf("error %v does not wrap ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestFusionContextWallClock pins the staged-API budget: MaxWallClock must
+// bound Pipeline.FusionContext itself, not only ResolveContext (regression:
+// the CLI's staged path once dropped the budget after construction), while
+// the error-free legacy Fusion keeps running unbounded.
+func TestFusionContextWallClock(t *testing.T) {
+	d := er.ProductReplica(er.ReplicaConfig{Scale: 0.3})
+	opts := er.DefaultOptions()
+	opts.MaxWallClock = time.Nanosecond
+	p := er.NewPipeline(d, opts)
+	if _, err := p.FusionContext(context.Background()); !errors.Is(err, er.ErrBudgetExceeded) {
+		t.Fatalf("FusionContext under an expired budget returned %v, want ErrBudgetExceeded", err)
+	}
+	if out := p.Fusion(); out == nil || len(out.Probabilities) != p.NumCandidates() {
+		t.Fatal("legacy Fusion must ignore MaxWallClock and complete")
+	}
+}
+
+// giantBlockRecords builds nBlocks blocks of identical records each, so
+// blocking naturally emits nBlocks * size*(size-1)/2 candidate pairs that
+// neither Jaccard tightening (within-block Jaccard is 1) nor the term-df
+// cap (block size stays under the cap floor) can reduce.
+func giantBlockRecords(nBlocks, size int) []er.Record {
+	var out []er.Record
+	for b := 0; b < nBlocks; b++ {
+		text := fmt.Sprintf("blk%da blk%db blk%dc", b, b, b)
+		for i := 0; i < size; i++ {
+			out = append(out, er.Record{Text: text})
+		}
+	}
+	return out
+}
+
+// TestMaxCandidatePairsTruncation is the degradation acceptance criterion:
+// a budget smaller than the natural blocking output triggers the
+// degradation path, populates the report, and still yields finite NaN-free
+// probabilities within the budget.
+func TestMaxCandidatePairsTruncation(t *testing.T) {
+	d := er.NewDataset("giant", giantBlockRecords(40, 6)) // 40 * 15 = 600 natural pairs
+	opts := er.DefaultOptions()
+	opts.MaxCandidatePairs = 100
+	res, err := er.ResolveContext(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation == nil {
+		t.Fatal("budget exceeded but Degradation is nil")
+	}
+	dr := res.Degradation
+	if dr.OriginalPairs != 600 {
+		t.Errorf("OriginalPairs = %d, want 600", dr.OriginalPairs)
+	}
+	if dr.FinalPairs != 100 || len(res.Probabilities) != 100 {
+		t.Errorf("FinalPairs = %d, probabilities = %d, want 100", dr.FinalPairs, len(res.Probabilities))
+	}
+	if dr.TruncatedPairs != 500 {
+		t.Errorf("TruncatedPairs = %d, want 500", dr.TruncatedPairs)
+	}
+	if len(dr.Steps) == 0 {
+		t.Error("degradation steps not narrated")
+	}
+	probabilities(t, "p", res.Probabilities)
+}
+
+// TestMaxCandidatePairsTightening checks the graceful path: when parameter
+// tightening alone reaches the budget, no truncation happens.
+func TestMaxCandidatePairsTightening(t *testing.T) {
+	// 40 blocks of 6 records sharing two block terms plus three unique
+	// terms each: within-block Jaccard is 2/8 = 0.25, above the default
+	// MinJaccard 0.2 but below the first tightening step 0.35, so one
+	// tightening pass prunes every pair and truncation is never reached.
+	var recs []er.Record
+	for b := 0; b < 40; b++ {
+		for i := 0; i < 6; i++ {
+			id := b*6 + i
+			recs = append(recs, er.Record{
+				Text: fmt.Sprintf("b%dx b%dy u%da u%db u%dc", b, b, id, id, id),
+			})
+		}
+	}
+	d := er.NewDataset("tighten", recs)
+	opts := er.DefaultOptions()
+	opts.MaxCandidatePairs = 50
+	res, err := er.ResolveContext(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation == nil {
+		t.Fatal("budget exceeded but Degradation is nil")
+	}
+	if res.Degradation.TruncatedPairs != 0 {
+		t.Errorf("tightening should have sufficed, truncated %d", res.Degradation.TruncatedPairs)
+	}
+	if got := len(res.Probabilities); got > 50 {
+		t.Errorf("%d pairs exceed the budget of 50", got)
+	}
+	probabilities(t, "p", res.Probabilities)
+}
+
+// TestResolveErrorTaxonomy pins the sentinel for each rejection path.
+func TestResolveErrorTaxonomy(t *testing.T) {
+	if _, err := er.Resolve(nil, er.DefaultOptions()); !errors.Is(err, er.ErrNoRecords) {
+		t.Errorf("nil dataset: %v, want ErrNoRecords", err)
+	}
+	empty := er.NewDataset("empty", nil)
+	if _, err := er.Resolve(empty, er.DefaultOptions()); !errors.Is(err, er.ErrNoRecords) {
+		t.Errorf("empty dataset: %v, want ErrNoRecords", err)
+	}
+	bad := er.DefaultOptions()
+	bad.Eta = 3
+	d := er.NewDataset("d", []er.Record{{Text: "a b"}, {Text: "a b"}})
+	if _, err := er.Resolve(d, bad); !errors.Is(err, er.ErrInvalidOptions) {
+		t.Errorf("invalid options: %v, want ErrInvalidOptions", err)
+	}
+	if _, err := er.NewPipelineContext(context.Background(), d, bad); !errors.Is(err, er.ErrInvalidOptions) {
+		t.Errorf("NewPipelineContext invalid options: %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestResolveDegenerateInputs: a single record and a zero-candidate dataset
+// are valid empty results, not errors, and evaluation stays NaN-free.
+func TestResolveDegenerateInputs(t *testing.T) {
+	single := er.NewDataset("one", []er.Record{{Text: "only record", Entity: "e0"}})
+	res, err := er.Resolve(single, er.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 || len(res.Clusters) != 1 {
+		t.Fatalf("single record: %d matches, %d clusters", len(res.Matches), len(res.Clusters))
+	}
+
+	disjoint := er.NewDataset("disjoint", []er.Record{
+		{Text: "alpha beta", Entity: "e0"},
+		{Text: "gamma delta", Entity: "e1"},
+	})
+	res, err = er.Resolve(disjoint, er.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 || len(res.Probabilities) != 0 {
+		t.Fatalf("disjoint records produced matches: %+v", res.Matches)
+	}
+	if res.Evaluation != nil {
+		m := *res.Evaluation
+		for _, v := range []float64{m.Precision, m.Recall, m.F1} {
+			if math.IsNaN(v) {
+				t.Fatalf("evaluation metric is NaN: %+v", m)
+			}
+		}
+	}
+}
+
+// TestCheckCandidates pins the advisory sentinel for empty candidate sets.
+func TestCheckCandidates(t *testing.T) {
+	disjoint := er.NewDataset("disjoint", []er.Record{{Text: "aa bb"}, {Text: "cc dd"}})
+	p := er.NewPipeline(disjoint, er.DefaultOptions())
+	if err := p.CheckCandidates(); !errors.Is(err, er.ErrNoCandidates) {
+		t.Errorf("CheckCandidates = %v, want ErrNoCandidates", err)
+	}
+	ok := er.NewDataset("ok", []er.Record{{Text: "aa bb"}, {Text: "aa bb"}})
+	if err := er.NewPipeline(ok, er.DefaultOptions()).CheckCandidates(); err != nil {
+		t.Errorf("CheckCandidates = %v, want nil", err)
+	}
+}
+
+// TestNewPipelineNormalizesOptions: the error-free constructor must accept
+// the zero Options value by normalizing it to the defaults.
+func TestNewPipelineNormalizesOptions(t *testing.T) {
+	d := er.NewDataset("d", []er.Record{{Text: "x y z"}, {Text: "x y w"}})
+	got := er.NewPipeline(d, er.Options{})
+	want := er.NewPipeline(d, er.DefaultOptions())
+	if got.NumCandidates() != want.NumCandidates() {
+		t.Fatalf("zero options: %d candidates, defaults: %d", got.NumCandidates(), want.NumCandidates())
+	}
+}
+
+// TestResolveSeedZeroMatchesSeedOne pins the unified zero-value seed: a
+// zero Seed must behave exactly like Seed 1 across the whole pipeline.
+func TestResolveSeedZeroMatchesSeedOne(t *testing.T) {
+	d := er.RestaurantReplica(er.ReplicaConfig{Scale: 0.2})
+	a := er.DefaultOptions()
+	a.Seed = 0
+	b := er.DefaultOptions()
+	b.Seed = 1
+	ra, err := er.Resolve(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := er.Resolve(d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Probabilities) != len(rb.Probabilities) {
+		t.Fatal("candidate sets differ")
+	}
+	for i := range ra.Probabilities {
+		if ra.Probabilities[i] != rb.Probabilities[i] {
+			t.Fatalf("p[%d]: seed 0 gives %g, seed 1 gives %g", i, ra.Probabilities[i], rb.Probabilities[i])
+		}
+	}
+}

@@ -31,13 +31,27 @@ func reportF1(b *testing.B, name string, f1 float64) {
 	b.ReportMetric(f1, name+"-F1")
 }
 
+// mustPipeline builds the standard pipeline for the named replica, failing
+// the benchmark on configuration errors.
+func mustPipeline(b *testing.B, cfg experiments.Config, name experiments.DatasetName) *er.Pipeline {
+	b.Helper()
+	p, err := cfg.Pipeline(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 // BenchmarkTable2 regenerates the Table II F1 comparison (all implemented
 // methods on all replicas).
 func BenchmarkTable2(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunTable2(cfg)
+		var err error
+		if res, err = experiments.RunTable2(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, method := range []string{"Jaccard", "TF-IDF", "SimRank", "PageRank", "Hybrid", "ITER+CliqueRank"} {
 		if row := res.Row(method); row != nil {
@@ -50,7 +64,7 @@ func BenchmarkTable2(b *testing.B) {
 // on the Product replica (the paper's hardest string-similarity case).
 func BenchmarkTable2PerMethod(b *testing.B) {
 	cfg := benchConfig()
-	p := cfg.Pipeline(experiments.Product)
+	p := mustPipeline(b, cfg, experiments.Product)
 	b.Run("Jaccard", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p.Jaccard()
@@ -84,7 +98,10 @@ func BenchmarkTable3(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Table3Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunTable3(cfg)
+		var err error
+		if res, err = experiments.RunTable3(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range res.Rows {
 		b.ReportMetric(row.Speedup, string(row.Dataset)+"-RSS-speedup")
@@ -97,7 +114,10 @@ func BenchmarkTable4(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Table4Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunTable4(cfg)
+		var err error
+		if res, err = experiments.RunTable4(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for di, name := range experiments.AllDatasets {
 		b.ReportMetric(res.ITER[di].Measured, string(name)+"-ITER-rho")
@@ -110,7 +130,10 @@ func BenchmarkTable5(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Table5Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunTable5(cfg)
+		var err error
+		if res, err = experiments.RunTable5(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	first := res.Iterations[0]
 	last := res.Iterations[len(res.Iterations)-1]
@@ -126,7 +149,10 @@ func BenchmarkFigure4(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Figure4Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunFigure4(cfg)
+		var err error
+		if res, err = experiments.RunFigure4(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, s := range res.Series {
 		front, back := s.FrontBackMeans()
@@ -141,7 +167,10 @@ func BenchmarkFigure5(b *testing.B) {
 	cfg := benchConfig()
 	var res *experiments.Figure5Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunFigure5(cfg)
+		var err error
+		if res, err = experiments.RunFigure5(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, s := range res.Series {
 		peak := 0.0
@@ -161,7 +190,7 @@ func BenchmarkFigure5(b *testing.B) {
 // core options and reports the F1.
 func benchAblation(b *testing.B, modify func(*core.Options)) {
 	cfg := benchConfig()
-	p := cfg.Pipeline(experiments.Product)
+	p := mustPipeline(b, cfg, experiments.Product)
 	_, g := p.Internals()
 	var f1 float64
 	for i := 0; i < b.N; i++ {
@@ -193,7 +222,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // one runs there.
 func BenchmarkAblationBonus(b *testing.B) {
 	cfg := benchConfig()
-	p := cfg.Pipeline(experiments.Paper)
+	p := mustPipeline(b, cfg, experiments.Paper)
 	_, g := p.Internals()
 	run := func(b *testing.B, disable bool) {
 		var f1 float64
@@ -234,7 +263,7 @@ func BenchmarkAblationDenominator(b *testing.B) {
 func BenchmarkCliqueRankVsRSS(b *testing.B) {
 	cfg := benchConfig()
 	for _, name := range experiments.AllDatasets {
-		p := cfg.Pipeline(name)
+		p := mustPipeline(b, cfg, name)
 		_, g := p.Internals()
 		opts := p.CoreOptions()
 		iter := core.RunITER(g, ones(g.NumPairs()), opts, newRand(opts.Seed))

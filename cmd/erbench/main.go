@@ -34,9 +34,13 @@ func main() {
 	cfg := experiments.Config{Seed: *seed, Scale: *scale}
 	fmt.Printf("erbench: scale=%.2f seed=%d (α=20, S=20, η=0.98, 5 fusion iterations)\n\n", *scale, *seed)
 
-	run := func(name string, fn func() string) {
+	run := func(name string, fn func() (string, error)) {
 		start := time.Now()
-		out := fn()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -46,24 +50,51 @@ func main() {
 	any := false
 	if want("table2") {
 		any = true
-		run("table2", func() string { return experiments.RunTable2(cfg).Render() })
+		run("table2", func() (string, error) {
+			res, err := experiments.RunTable2(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
 	}
 	if want("table3") {
 		any = true
-		run("table3", func() string { return experiments.RunTable3(cfg).Render() })
+		run("table3", func() (string, error) {
+			res, err := experiments.RunTable3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
 	}
 	if want("table4") {
 		any = true
-		run("table4", func() string { return experiments.RunTable4(cfg).Render() })
+		run("table4", func() (string, error) {
+			res, err := experiments.RunTable4(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
 	}
 	if want("table5") {
 		any = true
-		run("table5", func() string { return experiments.RunTable5(cfg).Render() })
+		run("table5", func() (string, error) {
+			res, err := experiments.RunTable5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
 	}
 	if want("fig4") {
 		any = true
-		run("fig4", func() string {
-			res := experiments.RunFigure4(cfg)
+		run("fig4", func() (string, error) {
+			res, err := experiments.RunFigure4(cfg)
+			if err != nil {
+				return "", err
+			}
 			writeSeriesCSV(*csvDir, "figure4", func() []namedCSV {
 				var out []namedCSV
 				for _, s := range res.Series {
@@ -85,13 +116,16 @@ func main() {
 					writeFile(*svgDir, fmt.Sprintf("figure4_%s.svg", strings.ToLower(string(s.Dataset))), svg)
 				}
 			}
-			return res.Render()
+			return res.Render(), nil
 		})
 	}
 	if want("fig5") {
 		any = true
-		run("fig5", func() string {
-			res := experiments.RunFigure5(cfg)
+		run("fig5", func() (string, error) {
+			res, err := experiments.RunFigure5(cfg)
+			if err != nil {
+				return "", err
+			}
 			writeSeriesCSV(*csvDir, "figure5", func() []namedCSV {
 				var out []namedCSV
 				for _, s := range res.Series {
@@ -115,31 +149,47 @@ func main() {
 				}, lines...)
 				writeFile(*svgDir, "figure5.svg", svg)
 			}
-			return res.Render()
+			return res.Render(), nil
 		})
 	}
 	if want("extended") {
 		any = true
-		run("extended", func() string {
-			return experiments.RenderExtended(experiments.RunExtended(cfg))
+		run("extended", func() (string, error) {
+			rows, err := experiments.RunExtended(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtended(rows), nil
 		})
 	}
 	if want("scaling") {
 		any = true
-		run("scaling", func() string {
-			return experiments.RenderScaling(experiments.RunScaling(cfg, nil))
+		run("scaling", func() (string, error) {
+			points, err := experiments.RunScaling(cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderScaling(points), nil
 		})
 	}
 	if *experiment == "blocking" { // opt-in: the literal >=1 rule is dense
 		any = true
-		run("blocking", func() string {
-			return experiments.RenderBlockingStudy(experiments.RunBlockingStudy(cfg))
+		run("blocking", func() (string, error) {
+			points, err := experiments.RunBlockingStudy(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderBlockingStudy(points), nil
 		})
 	}
 	if want("ablations") {
 		any = true
-		run("ablations", func() string {
-			return experiments.RenderAblations(experiments.RunAblations(cfg))
+		run("ablations", func() (string, error) {
+			results, err := experiments.RunAblations(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblations(results), nil
 		})
 	}
 	if !any {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestSelectAnalyzersDefault(t *testing.T) {
+	as, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != len(lint.All()) {
+		t.Fatalf("default selection = %v, want the full suite", names(as))
+	}
+}
+
+func TestSelectAnalyzersEnable(t *testing.T) {
+	as, err := selectAnalyzers("nopanic, determinism", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(as)
+	if len(got) != 2 || got[0] != "nopanic" || got[1] != "determinism" {
+		t.Fatalf("enable selection = %v", got)
+	}
+}
+
+func TestSelectAnalyzersDisable(t *testing.T) {
+	as, err := selectAnalyzers("", "optzero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range as {
+		if a.Name == "optzero" {
+			t.Fatalf("disable left optzero in %v", names(as))
+		}
+	}
+	if len(as) != len(lint.All())-1 {
+		t.Fatalf("disable selection = %v", names(as))
+	}
+}
+
+func TestSelectAnalyzersErrors(t *testing.T) {
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Error("unknown -enable name accepted")
+	}
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Error("unknown -disable name accepted")
+	}
+	if _, err := selectAnalyzers("nopanic", "nopanic"); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestTargetPaths(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := targetPaths(loader, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("./... resolved to no packages")
+	}
+	one, err := targetPaths(loader, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "repro/cmd/erlint" {
+		t.Fatalf(". resolved to %v from cmd/erlint", one)
+	}
+	if _, err := targetPaths(loader, []string{"/"}); err == nil {
+		t.Error("path outside the module accepted")
+	}
+}

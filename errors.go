@@ -38,6 +38,13 @@ var (
 	// ErrInvalidOptions reports an Options value rejected by Validate.
 	ErrInvalidOptions = errors.New("er: invalid options")
 
+	// ErrBadData reports malformed persisted or external input: a matcher
+	// model with a wrong version or missing fields, or similar structurally
+	// invalid payloads. It is distinct from ErrInvalidOptions (bad
+	// configuration) and ErrInternal (library bug): the data itself is the
+	// problem, and retrying with the same input cannot succeed.
+	ErrBadData = errors.New("er: malformed data")
+
 	// ErrInternal reports an internal invariant violation (a library bug).
 	// Resolve and ResolveContext install a panic-recovery boundary that
 	// converts internal panics into errors wrapping ErrInternal, so a

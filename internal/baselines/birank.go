@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/blocking"
+	"repro/internal/guard"
 	"repro/internal/textproc"
 )
 
@@ -17,6 +18,9 @@ type BiRankOptions struct {
 	// Tol stops iteration when the L1 change of the term vector drops
 	// below it.
 	Tol float64
+	// Check, when non-nil, is polled once per alternating iteration; on
+	// cancellation BiRank stops early and returns the current iterates.
+	Check *guard.Checkpoint
 }
 
 // DefaultBiRankOptions mirrors the BiRank paper's defaults.
@@ -65,6 +69,9 @@ func BiRank(c *textproc.Corpus, opts BiRankOptions) (termRank, recordRank []floa
 
 	next := make([]float64, m)
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if opts.Check.Err() != nil {
+			break
+		}
 		// t = α S r + (1-α) t0
 		for i := range next {
 			next[i] = 0

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/graph"
+	"repro/internal/guard"
 	"repro/internal/textproc"
 )
 
@@ -22,6 +23,10 @@ type PageRankOptions struct {
 	MaxIters int
 	// Tol stops iteration when the L1 change drops below it.
 	Tol float64
+	// Check, when non-nil, is polled once per power iteration; on
+	// cancellation PageRank stops early and returns the current iterate
+	// (the nil-safe no-op behavior of guard.Checkpoint applies).
+	Check *guard.Checkpoint
 }
 
 // DefaultPageRankOptions mirrors the paper's setting (φ = 0.85) with the
@@ -46,6 +51,9 @@ func PageRank(g *graph.TermGraph, opts PageRankOptions) []float64 {
 	}
 	next := make([]float64, n)
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if opts.Check.Err() != nil {
+			break
+		}
 		var delta float64
 		for i := 0; i < n; i++ {
 			var sum float64
@@ -74,6 +82,7 @@ func TWIDF(c *textproc.Corpus, g *blocking.Graph, salience []float64) []float64 
 		}
 	}
 	out := make([]float64, g.NumPairs())
+	//lint:ignore guardloop output-sized pass over candidate pairs already bounded by guarded blocking; inner loop is a shared-term intersection
 	for id, p := range g.Pairs {
 		var s float64
 		for _, t := range textproc.IntersectSorted(c.Docs[p.I], c.Docs[p.J]) {

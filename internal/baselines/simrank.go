@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"repro/internal/blocking"
+	"repro/internal/guard"
 	"repro/internal/textproc"
 )
 
@@ -18,6 +19,10 @@ type SimRankOptions struct {
 	// affects very frequent (hence non-discriminative) term pairs.
 	// Zero disables pruning.
 	MaxProduct int
+	// Check, when non-nil, is polled throughout the quadratic expansion
+	// sweeps; on cancellation SimRank stops early and returns the current
+	// similarity estimates.
+	Check *guard.Checkpoint
 }
 
 // DefaultSimRankOptions mirrors the paper: C1 = C2 = 0.8, 5 iterations.
@@ -95,6 +100,9 @@ func SimRank(c *textproc.Corpus, g *blocking.Graph, opts SimRankOptions) []float
 	for iter := 0; iter < opts.Iters; iter++ {
 		// Eq. 2: term similarity from record similarity.
 		for id, tp := range tpairs {
+			if opts.Check.Tick() != nil {
+				return recSim
+			}
 			ia, ib := inv[tp.a], inv[tp.b]
 			if len(ia) == 0 || len(ib) == 0 {
 				continue
@@ -109,6 +117,9 @@ func SimRank(c *textproc.Corpus, g *blocking.Graph, opts SimRankOptions) []float
 		}
 		// Eq. 1: record similarity from term similarity.
 		for id, p := range g.Pairs {
+			if opts.Check.Tick() != nil {
+				return recSim
+			}
 			oa, ob := c.Docs[p.I], c.Docs[p.J]
 			if len(oa) == 0 || len(ob) == 0 {
 				continue

@@ -35,6 +35,7 @@ func SortedNeighborhood(c *textproc.Corpus, keyOf func(record int) string, windo
 
 	seen := make(map[uint64]struct{})
 	var out []Pair
+	//lint:ignore guardloop O(n·window) sliding pass offered as library utility outside the guarded pipeline
 	for i := 0; i < n; i++ {
 		end := i + window
 		if end > n {
@@ -82,6 +83,7 @@ func defaultKey(c *textproc.Corpus, r int) string {
 func MultiPass(c *textproc.Corpus, keys []func(record int) string, window int) []Pair {
 	seen := make(map[uint64]struct{})
 	var out []Pair
+	//lint:ignore guardloop unions the output-sized passes of SortedNeighborhood, outside the guarded pipeline
 	for _, keyOf := range keys {
 		for _, p := range SortedNeighborhood(c, keyOf, window) {
 			k := Key(p.I, p.J)

@@ -1,0 +1,27 @@
+// Package clock provides an injectable time source for the kernel packages.
+//
+// The determinism lint (internal/lint, analyzer "determinism") bans
+// time.Now and friends inside internal/core, internal/matrix and
+// internal/graph: a kernel that reads the wall clock produces run-dependent
+// output (elapsed-time fields, progress callbacks) that cannot be replayed
+// from a seed. Kernels instead accept a clock.Func — nil selects the system
+// clock at the boundary via OrSystem, and tests inject a fake to make
+// timing-dependent behavior deterministic.
+package clock
+
+import "time"
+
+// Func returns the current time. A Func is the unit of injection: pass
+// time.Now (or nil, normalized by OrSystem) for production, a closure over
+// a fake counter in tests.
+type Func func() time.Time
+
+// OrSystem normalizes a possibly-nil clock: nil selects the system clock
+// (time.Now), anything else is returned unchanged. Call it once at the
+// kernel boundary so inner code never nil-checks.
+func OrSystem(f Func) Func {
+	if f == nil {
+		return time.Now
+	}
+	return f
+}

@@ -1,0 +1,26 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrSystemNil(t *testing.T) {
+	f := OrSystem(nil)
+	if f == nil {
+		t.Fatal("OrSystem(nil) returned nil")
+	}
+	before := time.Now()
+	got := f()
+	if got.Before(before.Add(-time.Second)) {
+		t.Errorf("OrSystem(nil)() = %v, want roughly now (%v)", got, before)
+	}
+}
+
+func TestOrSystemInjected(t *testing.T) {
+	fixed := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := OrSystem(func() time.Time { return fixed })
+	if got := f(); !got.Equal(fixed) {
+		t.Errorf("injected clock returned %v, want %v", got, fixed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/blocking"
+	"repro/internal/clock"
 )
 
 // FusionResult is the output of the full ITER ⇄ CliqueRank framework.
@@ -60,7 +61,8 @@ type FusionResult struct {
 // x/s/p vectors are scanned for NaN/±Inf and sanitized (see
 // FusionResult.NumericRepairs).
 func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, error) {
-	start := time.Now()
+	now := clock.OrSystem(opts.Clock)
+	start := now()
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
@@ -101,7 +103,7 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, 
 		}
 		res.NumericRepairs += sanitizeProbabilities(p)
 		if opts.Progress != nil {
-			opts.Progress(it, res.S, p, time.Since(start))
+			opts.Progress(it, res.S, p, now().Sub(start))
 		}
 	}
 	res.P = p
@@ -109,7 +111,7 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, 
 	for k, v := range p {
 		res.Matches[k] = v >= opts.Eta
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = now().Sub(start)
 	return res, nil
 }
 

@@ -39,6 +39,7 @@ type ITERResult struct {
 // single record and cannot influence any similarity.
 func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITERResult {
 	if len(p) != g.NumPairs() {
+		//lint:invariant alignment is established by RunFusion, the only production caller; tests assert on this panic
 		panic("core: p must be aligned with candidate pairs")
 	}
 	x := make([]float64, g.NumTerms)
@@ -95,6 +96,7 @@ func RunITER(g *blocking.Graph, p []float64, opts Options, rng *rand.Rand) *ITER
 				acc += p[pid] * s[pid]
 			}
 			if !opts.DisableDenominator {
+				//lint:ignore floatguard active terms have Pt > 0, so pairIDs is never empty
 				acc /= float64(len(pairIDs))
 			}
 			raw[k] = acc

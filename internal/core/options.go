@@ -7,6 +7,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/guard"
 )
 
@@ -16,22 +17,31 @@ import (
 type Options struct {
 	// Alpha is the exponent of the non-linear transition probability
 	// (Eq. 11). Large values concentrate the random walk on high-weight
-	// edges so it stays inside the ground-truth clique.
+	// edges so it stays inside the ground-truth clique. A zero Alpha
+	// flattens the transform (w^0 = 1), making every walk uniform; use
+	// DefaultOptions for the paper's setting of 20.
 	Alpha float64
-	// Steps is S, the maximum random-walk length (Eq. 14–15).
+	// Steps is S, the maximum random-walk length (Eq. 14–15). Zero permits
+	// no steps, so every walk fails to reach its target.
 	Steps int
 	// Eta is the matching-probability threshold η; pairs with
-	// p(ri, rj) >= Eta are declared matches.
+	// p(ri, rj) >= Eta are declared matches. Zero declares every surviving
+	// candidate pair a match.
 	Eta float64
 	// FusionIterations is the number of ITER → CliqueRank rounds (5 in the
-	// paper's Table V).
+	// paper's Table V). Values below 1 — including the zero value — are
+	// normalized to a single round.
 	FusionIterations int
 
-	// ITERTol stops the inner ITER loop once Σ|Δx_t| falls below it.
+	// ITERTol stops the inner ITER loop once Σ|Δx_t| falls below it. Zero
+	// disables the early-convergence exit: the loop runs the full
+	// ITERMaxIters.
 	ITERTol float64
-	// ITERMaxIters bounds the inner ITER loop.
+	// ITERMaxIters bounds the inner ITER loop. Zero runs no inner
+	// iterations, leaving the randomly initialized weights untouched.
 	ITERMaxIters int
 	// Normalization selects the per-iteration term-weight normalization.
+	// The zero value is NormBounded, the paper's x/(1+x) map.
 	Normalization Normalization
 
 	// UseRSS replaces CliqueRank with the sampling-based RSS estimator
@@ -39,7 +49,7 @@ type Options struct {
 	// Table III speedup comparison and cross-validation tests.
 	UseRSS bool
 	// RSSWalks is M, the number of sampled walks per edge (half from each
-	// endpoint).
+	// endpoint). Zero samples no walks, pinning every RSS estimate at 0.
 	RSSWalks int
 
 	// DisableBonus turns off the target-edge weight boosting of Eq. 12
@@ -69,6 +79,12 @@ type Options struct {
 	// matching probabilities, and the cumulative elapsed time. It powers
 	// the Table V harness without coupling core to the evaluation code.
 	Progress func(iteration int, s, p []float64, elapsed time.Duration)
+
+	// Clock supplies the timestamps behind FusionResult.Elapsed and the
+	// Progress callback; nil selects the system clock. It exists so the
+	// kernel never reads ambient time directly (the determinism lint bans
+	// time.Now here) and timing-dependent tests can inject a fake.
+	Clock clock.Func
 }
 
 // Normalization identifies an ITER term-weight normalization scheme. The

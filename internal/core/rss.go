@@ -101,6 +101,12 @@ func endpointsOf(rg *RecordGraph, pid int32) (int, int) {
 func randomWalk(rg *RecordGraph, start, target int, opts Options, rng *rand.Rand) int {
 	cur := start
 	for s := 0; s < opts.Steps; s++ {
+		// A canceled walk reports "target not reached": RSS's caller polls
+		// the same checkpoint and surfaces the error; the partial estimate
+		// is discarded with it.
+		if opts.Check.Tick() != nil {
+			return 0
+		}
 		nbrs, weights := rg.S.RowSlice(cur)
 		if len(nbrs) == 0 {
 			return 0

@@ -243,6 +243,7 @@ func GenPaper(cfg GenConfig) *Dataset {
 		d.Records[i].ID = i
 	}
 	if err := d.Validate(); err != nil {
+		//lint:invariant generator self-check: a Validate failure here is a construction bug, not bad input
 		panic(fmt.Sprintf("dataset: paper generator produced invalid data: %v", err))
 	}
 	return d

@@ -164,6 +164,7 @@ func GenProduct(cfg GenConfig) *Dataset {
 		d.Records[i].ID = i
 	}
 	if err := d.Validate(); err != nil {
+		//lint:invariant generator self-check: a Validate failure here is a construction bug, not bad input
 		panic(fmt.Sprintf("dataset: product generator produced invalid data: %v", err))
 	}
 	return d

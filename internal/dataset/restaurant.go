@@ -225,6 +225,7 @@ func GenRestaurant(cfg GenConfig) *Dataset {
 		d.Records[i].ID = i
 	}
 	if err := d.Validate(); err != nil {
+		//lint:invariant generator self-check: a Validate failure here is a construction bug, not bad input
 		panic(fmt.Sprintf("dataset: restaurant generator produced invalid data: %v", err))
 	}
 	return d

@@ -125,18 +125,28 @@ func TestBestThresholdAllZeroScores(t *testing.T) {
 	}
 }
 
+// mustSpearman fails the test on the (caller-bug) length-mismatch error.
+func mustSpearman(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	return rho
+}
+
 func TestSpearmanKnown(t *testing.T) {
 	a := []float64{1, 2, 3, 4, 5}
-	if got := Spearman(a, a); math.Abs(got-1) > 1e-12 {
+	if got := mustSpearman(t, a, a); math.Abs(got-1) > 1e-12 {
 		t.Errorf("Spearman(a,a) = %g, want 1", got)
 	}
 	b := []float64{5, 4, 3, 2, 1}
-	if got := Spearman(a, b); math.Abs(got+1) > 1e-12 {
+	if got := mustSpearman(t, a, b); math.Abs(got+1) > 1e-12 {
 		t.Errorf("Spearman(a,reversed) = %g, want -1", got)
 	}
 	// Monotone transform preserves perfect correlation.
 	c := []float64{1, 4, 9, 16, 25}
-	if got := Spearman(a, c); math.Abs(got-1) > 1e-12 {
+	if got := mustSpearman(t, a, c); math.Abs(got-1) > 1e-12 {
 		t.Errorf("Spearman(a, a^2) = %g, want 1", got)
 	}
 }
@@ -144,12 +154,18 @@ func TestSpearmanKnown(t *testing.T) {
 func TestSpearmanTies(t *testing.T) {
 	a := []float64{1, 2, 2, 3}
 	b := []float64{1, 2, 2, 3}
-	if got := Spearman(a, b); math.Abs(got-1) > 1e-12 {
+	if got := mustSpearman(t, a, b); math.Abs(got-1) > 1e-12 {
 		t.Errorf("Spearman with aligned ties = %g, want 1", got)
 	}
 	flat := []float64{7, 7, 7, 7}
-	if got := Spearman(a, flat); got != 0 {
+	if got := mustSpearman(t, a, flat); got != 0 {
 		t.Errorf("Spearman against constant = %g, want 0", got)
+	}
+}
+
+func TestSpearmanLengthMismatch(t *testing.T) {
+	if _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("Spearman accepted samples of different lengths")
 	}
 }
 
@@ -163,11 +179,11 @@ func TestSpearmanRandomInRange(t *testing.T) {
 			a[i] = rng.NormFloat64()
 			b[i] = rng.NormFloat64()
 		}
-		got := Spearman(a, b)
+		got := mustSpearman(t, a, b)
 		if got < -1-1e-9 || got > 1+1e-9 {
 			t.Fatalf("Spearman out of [-1,1]: %g", got)
 		}
-		if math.Abs(got-Spearman(b, a)) > 1e-9 {
+		if math.Abs(got-mustSpearman(t, b, a)) > 1e-9 {
 			t.Fatal("Spearman must be symmetric")
 		}
 	}

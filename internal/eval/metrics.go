@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -111,16 +112,19 @@ func BestThreshold(pairs []blocking.Pair, scores []float64, truth map[uint64]boo
 
 // Spearman returns Spearman's rank correlation coefficient between two
 // paired samples, using average ranks for ties (the tie-aware definition,
-// computed as Pearson correlation of the rank vectors).
-func Spearman(a, b []float64) float64 {
+// computed as Pearson correlation of the rank vectors). Samples of
+// different lengths are a caller error, reported rather than panicking so
+// the statistic stays safe on externally supplied vectors; fewer than two
+// observations yield 0.
+func Spearman(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		panic("eval: Spearman requires equal-length samples")
+		return 0, fmt.Errorf("eval: Spearman requires equal-length samples, got %d and %d", len(a), len(b))
 	}
 	if len(a) < 2 {
-		return 0
+		return 0, nil
 	}
 	ra, rb := ranks(a), ranks(b)
-	return pearson(ra, rb)
+	return pearson(ra, rb), nil
 }
 
 func ranks(x []float64) []float64 {

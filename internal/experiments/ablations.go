@@ -31,20 +31,23 @@ var ablationSpecs = []ablationSpec{
 }
 
 // RunAblations evaluates every ablation on every replica.
-func RunAblations(cfg Config) []AblationResult {
+func RunAblations(cfg Config) ([]AblationResult, error) {
 	results := make([]AblationResult, len(ablationSpecs))
 	for i, spec := range ablationSpecs {
 		results[i].Name = spec.name
 	}
 	for di, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		full := runFusionF1(p, nil)
 		for i, spec := range ablationSpecs {
 			results[i].Full[di] = full
 			results[i].Ablated[di] = runFusionF1(p, spec.apply)
 		}
 	}
-	return results
+	return results, nil
 }
 
 // runFusionF1 executes the fusion loop on a pipeline's internal structures

@@ -32,10 +32,13 @@ var blockingRules = []struct {
 // blocking floor costs in recall and buys in fusion precision. The literal
 // rule makes dense graphs (run it at reduced -scale); it is therefore not
 // part of erbench's "all" set.
-func RunBlockingStudy(cfg Config) []BlockingPoint {
+func RunBlockingStudy(cfg Config) ([]BlockingPoint, error) {
 	var out []BlockingPoint
 	for _, name := range AllDatasets {
-		d := cfg.Dataset(name)
+		d, err := cfg.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
 		for _, rule := range blockingRules {
 			opts := cfg.options()
 			rule.apply(&opts)
@@ -57,7 +60,7 @@ func RunBlockingStudy(cfg Config) []BlockingPoint {
 			out = append(out, point)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RenderBlockingStudy formats the study.

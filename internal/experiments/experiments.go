@@ -51,23 +51,28 @@ func (c Config) options() er.Options {
 	return o
 }
 
-// Dataset generates the named replica.
-func (c Config) Dataset(name DatasetName) *er.Dataset {
+// Dataset generates the named replica. Unknown names report an error
+// wrapping er.ErrInvalidOptions, so callers can branch with errors.Is.
+func (c Config) Dataset(name DatasetName) (*er.Dataset, error) {
 	cfg := er.ReplicaConfig{Seed: c.Seed, Scale: c.Scale}
 	switch name {
 	case Restaurant:
-		return er.RestaurantReplica(cfg)
+		return er.RestaurantReplica(cfg), nil
 	case Product:
-		return er.ProductReplica(cfg)
+		return er.ProductReplica(cfg), nil
 	case Paper:
-		return er.PaperReplica(cfg)
+		return er.PaperReplica(cfg), nil
 	}
-	panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+	return nil, fmt.Errorf("%w: experiments: unknown dataset %q", er.ErrInvalidOptions, name)
 }
 
 // Pipeline builds the standard pipeline for the named replica.
-func (c Config) Pipeline(name DatasetName) *er.Pipeline {
-	return er.NewPipeline(c.Dataset(name), c.options())
+func (c Config) Pipeline(name DatasetName) (*er.Pipeline, error) {
+	d, err := c.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return er.NewPipeline(d, c.options()), nil
 }
 
 // Cell is one measured value with the corresponding published value (NaN

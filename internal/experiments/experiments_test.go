@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 	"time"
+
+	"repro"
 )
 
 // Tests run at a small scale so the whole suite stays quick; the full-scale
@@ -14,7 +17,10 @@ func testConfig() Config { return Config{Seed: 1, Scale: 0.15} }
 func TestConfigDatasets(t *testing.T) {
 	cfg := testConfig()
 	for _, name := range AllDatasets {
-		d := cfg.Dataset(name)
+		d, err := cfg.Dataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if d.NumRecords() == 0 {
 			t.Errorf("%s: empty dataset", name)
 		}
@@ -24,17 +30,20 @@ func TestConfigDatasets(t *testing.T) {
 	}
 }
 
-func TestConfigUnknownDatasetPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unknown dataset")
-		}
-	}()
-	testConfig().Dataset("Nope")
+func TestConfigUnknownDataset(t *testing.T) {
+	if _, err := testConfig().Dataset("Nope"); !errors.Is(err, er.ErrInvalidOptions) {
+		t.Errorf("unknown dataset: err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := testConfig().Pipeline("Nope"); !errors.Is(err, er.ErrInvalidOptions) {
+		t.Errorf("unknown pipeline dataset: err = %v, want ErrInvalidOptions", err)
+	}
 }
 
 func TestRunTable2(t *testing.T) {
-	res := RunTable2(testConfig())
+	res, err := RunTable2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 15 {
 		t.Fatalf("rows = %d, want 15", len(res.Rows))
 	}
@@ -76,7 +85,10 @@ func TestRunTable2(t *testing.T) {
 }
 
 func TestRunTable3(t *testing.T) {
-	res := RunTable3(testConfig())
+	res, err := RunTable3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(res.Rows))
 	}
@@ -97,7 +109,10 @@ func TestRunTable3(t *testing.T) {
 }
 
 func TestRunTable4(t *testing.T) {
-	res := RunTable4(testConfig())
+	res, err := RunTable4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for di, name := range AllDatasets {
 		iter := res.ITER[di].Measured
 		pr := res.PageRank[di].Measured
@@ -114,7 +129,10 @@ func TestRunTable4(t *testing.T) {
 }
 
 func TestRunTable5(t *testing.T) {
-	res := RunTable5(testConfig())
+	res, err := RunTable5(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Iterations) != 5 {
 		t.Fatalf("iterations = %d, want 5", len(res.Iterations))
 	}
@@ -134,7 +152,10 @@ func TestRunTable5(t *testing.T) {
 }
 
 func TestRunFigure4(t *testing.T) {
-	res := RunFigure4(testConfig())
+	res, err := RunFigure4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Series) != 3 {
 		t.Fatalf("series = %d, want 3", len(res.Series))
 	}
@@ -154,7 +175,10 @@ func TestRunFigure4(t *testing.T) {
 }
 
 func TestRunFigure5(t *testing.T) {
-	res := RunFigure5(testConfig())
+	res, err := RunFigure5(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range res.Series {
 		if len(s.Updates) == 0 {
 			t.Fatalf("%s: empty trace", s.Dataset)
@@ -176,7 +200,10 @@ func TestRunFigure5(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
-	res := RunAblations(testConfig())
+	res, err := RunAblations(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 6 {
 		t.Fatalf("ablations = %d, want 6", len(res))
 	}
@@ -213,7 +240,10 @@ func TestRenderTableAlignment(t *testing.T) {
 }
 
 func TestRunExtended(t *testing.T) {
-	rows := RunExtended(testConfig())
+	rows, err := RunExtended(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("extended rows = %d, want 3", len(rows))
 	}
@@ -230,7 +260,10 @@ func TestRunExtended(t *testing.T) {
 }
 
 func TestRunScaling(t *testing.T) {
-	points := RunScaling(Config{Seed: 1, Scale: 1}, []int{10, 20})
+	points, err := RunScaling(Config{Seed: 1, Scale: 1}, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 2 {
 		t.Fatalf("points = %d, want 2", len(points))
 	}
@@ -246,7 +279,10 @@ func TestRunScaling(t *testing.T) {
 }
 
 func TestRunBlockingStudy(t *testing.T) {
-	points := RunBlockingStudy(Config{Seed: 1, Scale: 0.1})
+	points, err := RunBlockingStudy(Config{Seed: 1, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 9 {
 		t.Fatalf("points = %d, want 3 datasets x 3 rules", len(points))
 	}

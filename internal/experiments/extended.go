@@ -13,10 +13,13 @@ type ExtendedRow struct {
 // TW-IDF variant) on the three replicas. These have no
 // published counterpart in the paper's Table II; they quantify how far
 // classic hybrid string metrics get on the same candidate sets.
-func RunExtended(cfg Config) []ExtendedRow {
+func RunExtended(cfg Config) ([]ExtendedRow, error) {
 	rows := []ExtendedRow{{Method: "SoftTFIDF"}, {Method: "MongeElkan"}, {Method: "BiRank+TW-IDF"}}
 	for di, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		if _, m, ok := p.EvaluateScores(p.SoftTFIDF()); ok {
 			rows[0].F1[di] = m.F1
 		}
@@ -29,7 +32,7 @@ func RunExtended(cfg Config) []ExtendedRow {
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderExtended formats the extra-metric comparison.

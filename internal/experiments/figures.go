@@ -20,10 +20,13 @@ type Figure4Result struct {
 
 // RunFigure4 runs the fusion framework per dataset and extracts the ranked
 // score(t) series.
-func RunFigure4(cfg Config) *Figure4Result {
+func RunFigure4(cfg Config) (*Figure4Result, error) {
 	res := &Figure4Result{}
 	for _, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		out := p.Fusion()
 		series, ok := p.TermScoreSeries(out.TermWeights)
 		if !ok {
@@ -31,7 +34,7 @@ func RunFigure4(cfg Config) *Figure4Result {
 		}
 		res.Series = append(res.Series, Figure4Series{Dataset: name, Scores: series})
 	}
-	return res
+	return res, nil
 }
 
 // FrontBackMeans summarizes a series by the mean score(t) of its first and
@@ -88,10 +91,13 @@ type Figure5Result struct {
 }
 
 // RunFigure5 collects the update traces.
-func RunFigure5(cfg Config) *Figure5Result {
+func RunFigure5(cfg Config) (*Figure5Result, error) {
 	res := &Figure5Result{}
 	for _, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		out := p.Fusion()
 		var updates []float64
 		for _, trace := range out.ITERUpdateTrace {
@@ -102,7 +108,7 @@ func RunFigure5(cfg Config) *Figure5Result {
 		}
 		res.Series = append(res.Series, Figure5Series{Dataset: name, Updates: updates})
 	}
-	return res
+	return res, nil
 }
 
 // CSV serializes a series as "iteration,update" lines.

@@ -26,7 +26,7 @@ type ScalingPoint struct {
 // measures how CliqueRank's cost tracks the Σ deg² bound rather than n³ —
 // the quantitative backing for replacing the paper's Eigen-based dense
 // chain with the masked sparse product.
-func RunScaling(cfg Config, scales []int) []ScalingPoint {
+func RunScaling(cfg Config, scales []int) ([]ScalingPoint, error) {
 	if len(scales) == 0 {
 		scales = []int{20, 40, 60, 80, 100}
 	}
@@ -34,7 +34,10 @@ func RunScaling(cfg Config, scales []int) []ScalingPoint {
 	for _, pct := range scales {
 		sub := cfg
 		sub.Scale = cfg.Scale * float64(pct) / 100
-		p := sub.Pipeline(Paper)
+		p, err := sub.Pipeline(Paper)
+		if err != nil {
+			return nil, err
+		}
 		_, g := p.Internals()
 		opts := p.CoreOptions()
 		iter := core.RunITER(g, ones(g.NumPairs()), opts, rand.New(rand.NewSource(opts.Seed)))
@@ -70,7 +73,7 @@ func RunScaling(cfg Config, scales []int) []ScalingPoint {
 			RSSPerEdge: perEdge,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // ones returns a probability vector initialized to 1 (the first-iteration

@@ -25,10 +25,13 @@ type Table2Result struct {
 // merges in the published values, including the machine-learning and
 // crowd-sourcing rows that the original paper itself copied from the cited
 // publications (printed as reported-only).
-func RunTable2(cfg Config) *Table2Result {
+func RunTable2(cfg Config) (*Table2Result, error) {
 	measured := map[string][3]float64{}
 	for di, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		record := func(method string, f1 float64) {
 			row := measured[method]
 			row[di] = f1
@@ -78,7 +81,7 @@ func RunTable2(cfg Config) *Table2Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the table for terminal output. Measured values come first;

@@ -41,11 +41,14 @@ const rssSampleEdges = 400
 
 // RunTable3 replays the fusion loop with per-phase timing and estimates the
 // RSS cost on each dataset's final record graph.
-func RunTable3(cfg Config) *Table3Result {
+func RunTable3(cfg Config) (*Table3Result, error) {
 	res := &Table3Result{}
 	published := map[DatasetName]float64{Restaurant: 1.3, Product: 1.5, Paper: 60}
 	for _, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		_, g := p.Internals()
 		opts := p.CoreOptions()
 		rng := rand.New(rand.NewSource(opts.Seed))
@@ -91,7 +94,7 @@ func RunTable3(cfg Config) *Table3Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the result in the paper's row layout.

@@ -11,10 +11,13 @@ type Table4Result struct {
 }
 
 // RunTable4 measures both weighting schemes on the three replicas.
-func RunTable4(cfg Config) *Table4Result {
+func RunTable4(cfg Config) (*Table4Result, error) {
 	res := &Table4Result{}
 	for di, name := range AllDatasets {
-		p := cfg.Pipeline(name)
+		p, err := cfg.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
 		_, salience := p.PageRank()
 		if rho, ok := p.TermWeightQuality(salience); ok {
 			res.PageRank[di] = Cell{Measured: rho, Published: eval.TableIV["PageRank"][di]}
@@ -24,7 +27,7 @@ func RunTable4(cfg Config) *Table4Result {
 			res.ITER[di] = Cell{Measured: rho, Published: eval.TableIV["ITER"][di]}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the table.

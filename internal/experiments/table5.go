@@ -23,14 +23,17 @@ type Table5Result struct {
 
 // RunTable5 runs the full fusion loop once per dataset, scoring the
 // intermediate matching probabilities via the Progress hook.
-func RunTable5(cfg Config) *Table5Result {
+func RunTable5(cfg Config) (*Table5Result, error) {
 	iters := cfg.options().FusionIterations
 	res := &Table5Result{Iterations: make([]Table5Iteration, iters)}
 	for i := range res.Iterations {
 		res.Iterations[i].Iteration = i + 1
 	}
 	for di, name := range AllDatasets {
-		d := cfg.Dataset(name)
+		d, err := cfg.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
 		opts := cfg.options()
 		var pipe *er.Pipeline
 		opts.Progress = func(it int, s, p []float64, elapsed time.Duration) {
@@ -48,7 +51,7 @@ func RunTable5(cfg Config) *Table5Result {
 		pipe = er.NewPipeline(d, opts)
 		pipe.Fusion()
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the table.

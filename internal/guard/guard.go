@@ -46,6 +46,23 @@ func FromContext(ctx context.Context) *Checkpoint {
 	return New(ctx.Done(), func() error { return ctx.Err() })
 }
 
+// WithStride returns a checkpoint observing the same cancellation signal
+// but polling it every n Tick calls instead of every DefaultStride. Strides
+// of 0 and 1 both poll on every Tick (0 would otherwise divide by zero; it
+// is normalized rather than rejected so callers can plumb "poll always"
+// through an untyped config zero value). The receiver is unchanged and a
+// nil receiver stays nil, so derived checkpoints are as free as the
+// original when cancellation is off.
+func (c *Checkpoint) WithStride(n uint64) *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Checkpoint{done: c.done, cause: c.cause, stride: n}
+}
+
 // Err polls the cancellation signal immediately. It returns the cause (for a
 // context: context.Canceled or context.DeadlineExceeded) once the checkpoint
 // is canceled, and nil before that or on a nil checkpoint.
@@ -68,8 +85,9 @@ func (c *Checkpoint) Err() error {
 }
 
 // Tick is the amortized poll for inner loops: it performs one atomic add per
-// call and only inspects the cancellation channel every DefaultStride calls.
-// It returns the same errors as Err.
+// call and only inspects the cancellation channel once per stride
+// (DefaultStride calls, unless WithStride chose another). It returns the
+// same errors as Err.
 func (c *Checkpoint) Tick() error {
 	if c == nil {
 		return nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilCheckpointNeverCancels(t *testing.T) {
@@ -86,4 +87,83 @@ func TestNewWithClosedChannelAndNilCause(t *testing.T) {
 	if err := c.Err(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("closed channel with unset cause: Err = %v, want context.Canceled", err)
 	}
+}
+
+func TestWithStrideZeroAndOnePollEveryTick(t *testing.T) {
+	for _, stride := range []uint64{0, 1} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		c := FromContext(ctx).WithStride(stride)
+		if err := c.Tick(); !errors.Is(err, context.Canceled) {
+			t.Errorf("stride %d: first Tick = %v, want context.Canceled", stride, err)
+		}
+	}
+}
+
+func TestWithStrideLeavesOriginalUntouched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	orig := FromContext(ctx)
+	fast := orig.WithStride(1)
+	// The original still amortizes over DefaultStride; the derived
+	// checkpoint must observe cancellation immediately without advancing
+	// the original's tick counter.
+	if err := fast.Tick(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("derived Tick = %v, want context.Canceled", err)
+	}
+	if err := orig.Tick(); err != nil {
+		t.Fatalf("original's first Tick should still be amortized away, got %v", err)
+	}
+}
+
+func TestWithStrideOnNilCheckpoint(t *testing.T) {
+	var c *Checkpoint
+	if got := c.WithStride(1); got != nil {
+		t.Fatal("nil.WithStride must stay nil")
+	}
+	if err := c.WithStride(0).Tick(); err != nil {
+		t.Fatalf("nil derived checkpoint Tick = %v", err)
+	}
+}
+
+func TestCheckpointAfterDeadlineExpiry(t *testing.T) {
+	// An already-expired deadline: the Done channel is closed before the
+	// first poll, and the cause must be DeadlineExceeded, not Canceled.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := FromContext(ctx)
+	if err := c.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", err)
+	}
+	if err := c.WithStride(1).Tick(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Tick = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithStrideConcurrentTicks(t *testing.T) {
+	// Derived and original checkpoints share the cancellation signal but
+	// not the tick counter; hammering both from multiple goroutines must be
+	// race-free (run under -race) and must never report a spurious error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := FromContext(ctx)
+	fast := orig.WithStride(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(useFast bool) {
+			defer wg.Done()
+			c := orig
+			if useFast {
+				c = fast
+			}
+			for i := 0; i < 10_000; i++ {
+				if err := c.Tick(); err != nil {
+					t.Errorf("spurious cancellation: %v", err)
+					return
+				}
+			}
+		}(w%2 == 0)
+	}
+	wg.Wait()
 }

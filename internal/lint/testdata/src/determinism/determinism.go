@@ -1,0 +1,88 @@
+// Package determinism is a golden fixture for the determinism analyzer.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// AmbientTime reads the wall clock twice.
+func AmbientTime() time.Duration {
+	start := time.Now()      // want determinism
+	return time.Since(start) // want determinism
+}
+
+// AmbientEnv reads process configuration.
+func AmbientEnv() string {
+	return os.Getenv("HOME") // want determinism
+}
+
+// GlobalRand draws from the process-seeded global generator.
+func GlobalRand() float64 {
+	return rand.Float64() // want determinism
+}
+
+// SeededRand uses the legal constructor-plus-instance idiom.
+func SeededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// MapAppendBad enumerates map keys into ordered output without sorting.
+func MapAppendBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want determinism
+	}
+	return keys
+}
+
+// MapAppendSorted is the sanctioned idiom: the later sort neutralizes the
+// iteration order.
+func MapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MapFloatAccum rounds differently depending on iteration order.
+func MapFloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want determinism
+	}
+	return total
+}
+
+// MapIntAccum is exact regardless of order and therefore legal.
+func MapIntAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SliceAppend ranges a slice, not a map.
+func SliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// SuppressedFloat carries a reasoned ignore.
+func SuppressedFloat(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore determinism fixture exercises the suppression path
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+// Package directives is a golden fixture for the directive checker:
+// suppressions without a reason or an analyzer list are themselves findings,
+// and a reasonless ignore does not suppress anything.
+package directives
+
+// MissingReason carries an ignore with no justification: the directive is
+// reported and the panic stays reported.
+//
+// want+2 lint
+//
+//lint:ignore nopanic
+func MissingReason() {
+	panic("still reported") // want nopanic
+}
+
+// MissingInvariantReason marks an invariant without saying which one.
+//
+// want+2 lint
+//
+//lint:invariant
+func MissingInvariantReason() {
+	panic("still reported") // want nopanic
+}
+
+// MissingList does not say which analyzer it silences.
+//
+// want+2 lint
+//
+//lint:ignore
+func MissingList() {}

@@ -1,0 +1,7 @@
+package errwrap
+
+import "errors"
+
+// ErrFixture is the fixture taxonomy root: package-level sentinels in
+// errors.go are the one legal errors.New site.
+var ErrFixture = errors.New("fixture error")

@@ -1,0 +1,36 @@
+// Package errwrap is a golden fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStray is a sentinel declared outside errors.go.
+var ErrStray = errors.New("stray sentinel") // want errwrap
+
+// BadLeaf builds an error no errors.Is can classify.
+func BadLeaf(name string) error {
+	return fmt.Errorf("unknown dataset %q", name) // want errwrap
+}
+
+// GoodWrap wraps the underlying cause.
+func GoodWrap(err error) error {
+	return fmt.Errorf("loading fixture: %w", err)
+}
+
+// GoodSentinelWrap wraps the taxonomy root.
+func GoodSentinelWrap(name string) error {
+	return fmt.Errorf("%w: unknown dataset %q", ErrFixture, name)
+}
+
+// BadLocalSentinel mints a stringly-typed sentinel inside a function.
+func BadLocalSentinel() error {
+	return errors.New("ad hoc") // want errwrap
+}
+
+// SuppressedLeaf carries a reasoned ignore.
+func SuppressedLeaf(name string) error {
+	//lint:ignore errwrap fixture exercises the suppression path
+	return fmt.Errorf("bad name %q", name)
+}

@@ -1,0 +1,76 @@
+// Package floatguard is a golden fixture for the floatguard analyzer.
+package floatguard
+
+// EqBad compares two non-constant floats for equality.
+func EqBad(a, b float64) bool {
+	return a == b // want floatguard
+}
+
+// NeqBad is the inverse form.
+func NeqBad(a, b float64) bool {
+	return a != b // want floatguard
+}
+
+// EqConst is the sanctioned zero-guard idiom.
+func EqConst(a float64) bool {
+	return a == 0
+}
+
+// DivBad divides with no visible guard on the denominator.
+func DivBad(num, den float64) float64 {
+	return num / den // want floatguard
+}
+
+// DivGuarded compares the denominator before dividing.
+func DivGuarded(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DivByLen normalizes by a length that is never checked.
+func DivByLen(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)) // want floatguard
+}
+
+// DivByLenGuarded checks the length first; the guard and the division name
+// the same slice.
+func DivByLenGuarded(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// DivAssignBad uses the compound form with an unguarded denominator.
+func DivAssignBad(vals []float64, norm float64) {
+	for i := range vals {
+		vals[i] /= norm // want floatguard
+	}
+}
+
+// NonzeroLiteral denominators are poles only by deliberate choice.
+func NonzeroLiteral(x, y float64) float64 {
+	return x / (1 + y)
+}
+
+// ConstDiv divides by a compile-time constant.
+func ConstDiv(x float64) float64 {
+	const scale = 2.5
+	return x / scale
+}
+
+// SuppressedDiv carries a reasoned ignore.
+func SuppressedDiv(x, y float64) float64 {
+	//lint:ignore floatguard fixture exercises the suppression path
+	return x / y
+}

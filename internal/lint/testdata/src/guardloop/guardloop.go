@@ -1,0 +1,81 @@
+// Package guardloop is a golden fixture for the guardloop analyzer.
+package guardloop
+
+import "repro/internal/guard"
+
+// BadNested contains a nested loop that never reaches a checkpoint poll.
+func BadNested(m [][]float64) float64 {
+	s := 0.0
+	for i := range m { // want guardloop
+		for j := range m[i] {
+			s += m[i][j]
+		}
+	}
+	return s
+}
+
+// BadClosure hides the unguarded nested loop inside a function literal,
+// which runs on the same goroutine budget.
+func BadClosure(m [][]float64) func() float64 {
+	return func() float64 {
+		s := 0.0
+		for i := range m { // want guardloop
+			for range m[i] {
+				s++
+			}
+		}
+		return s
+	}
+}
+
+// GoodDirect polls Tick inside the outer loop.
+func GoodDirect(check *guard.Checkpoint, m [][]float64) float64 {
+	s := 0.0
+	for i := range m {
+		if check.Tick() != nil {
+			return s
+		}
+		for j := range m[i] {
+			s += m[i][j]
+		}
+	}
+	return s
+}
+
+// GoodViaCallee reaches a poll through a same-package helper.
+func GoodViaCallee(check *guard.Checkpoint, m [][]float64) float64 {
+	s := 0.0
+	for i := range m {
+		for j := range m[i] {
+			s += weighted(check, m[i][j])
+		}
+	}
+	return s
+}
+
+func weighted(check *guard.Checkpoint, v float64) float64 {
+	if check.Err() != nil {
+		return 0
+	}
+	return v
+}
+
+// SingleLoop is exempt: linear passes are bounded by an upstream guarded
+// stage.
+func SingleLoop(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Copy is an intentionally unguarded output-sized copy.
+func Copy(dst, src [][]float64) {
+	//lint:ignore guardloop output-sized copy bounded by the caller
+	for i := range src {
+		for j := range src[i] {
+			dst[i][j] = src[i][j]
+		}
+	}
+}

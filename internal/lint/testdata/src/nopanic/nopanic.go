@@ -1,0 +1,38 @@
+// Package nopanic is a golden fixture for the nopanic analyzer.
+package nopanic
+
+// Bad panics without justification.
+func Bad(x int) int {
+	if x < 0 {
+		panic("negative input") // want nopanic
+	}
+	return x
+}
+
+// InlineInvariant documents the assert on the panic line.
+func InlineInvariant(dims []int) {
+	if len(dims) == 0 {
+		panic("empty dims") //lint:invariant caller constructs dims non-empty by definition
+	}
+}
+
+// DocInvariant documents the assert in the function doc.
+//
+//lint:invariant alignment is checked by the only constructor
+func DocInvariant(n, m int) {
+	if n != m {
+		panic("misaligned")
+	}
+}
+
+// Suppressed carries a reasoned ignore on the line above.
+func Suppressed() {
+	//lint:ignore nopanic exercising the suppression path in the fixture
+	panic("suppressed")
+}
+
+// Shadowed calls a local function named panic, not the builtin.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,12 @@
+// Command nopanicmain is a golden fixture: package main is exempt from the
+// nopanic analyzer — a CLI terminating on an impossible state crashes only
+// itself.
+package main
+
+func main() {
+	run()
+}
+
+func run() {
+	panic("commands may crash")
+}

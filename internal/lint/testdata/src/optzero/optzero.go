@@ -1,0 +1,30 @@
+// Package optzero is a golden fixture for the optzero analyzer.
+package optzero
+
+// Options mirrors the shape the analyzer enforces on er.Options and
+// core.Options.
+type Options struct {
+	// Alpha blends structural and textual similarity; zero keeps the
+	// paper's default of 0.5.
+	Alpha float64
+
+	// Seed seeds the kernels for the run.
+	Seed int64 // want optzero
+
+	Steps int // want optzero
+
+	Eta float64 // zero selects the paper's decay 0.1
+
+	// Verbose enables progress logging.
+	Verbose bool
+
+	Quiet bool
+
+	//lint:ignore optzero fixture exercises the suppression path
+	Workers int
+}
+
+// NotOptions is a struct with another name; the analyzer ignores it.
+type NotOptions struct {
+	Undocumented int
+}

@@ -18,6 +18,7 @@ type Dense struct {
 // NewDense allocates a zeroed Rows×Cols matrix.
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -34,6 +35,7 @@ func NewDenseFrom(rows [][]float64) *Dense {
 	m := NewDense(r, c)
 	for i, row := range rows {
 		if len(row) != c {
+			//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 			panic(fmt.Sprintf("matrix: ragged row %d: len %d, want %d", i, len(row), c))
 		}
 		copy(m.Row(i), row)
@@ -70,6 +72,7 @@ func (m *Dense) Clone() *Dense {
 // row blocks. It panics on dimension mismatch.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.Cols != b.Rows {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(m.Rows, b.Cols)
@@ -94,6 +97,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 // Hadamard computes the element-wise product m ⊙ b in place on a new matrix.
 func (m *Dense) Hadamard(b *Dense) *Dense {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: Hadamard dimension mismatch")
 	}
 	out := NewDense(m.Rows, m.Cols)
@@ -118,6 +122,7 @@ func (m *Dense) Transpose() *Dense {
 // Add returns m + b.
 func (m *Dense) Add(b *Dense) *Dense {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: Add dimension mismatch")
 	}
 	out := NewDense(m.Rows, m.Cols)
@@ -139,6 +144,7 @@ func (m *Dense) Scale(s float64) *Dense {
 // MulVec computes m · x for a column vector x.
 func (m *Dense) MulVec(x []float64) []float64 {
 	if m.Cols != len(x) {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: MulVec dimension mismatch")
 	}
 	out := make([]float64, m.Rows)
@@ -158,6 +164,7 @@ func (m *Dense) MulVec(x []float64) []float64 {
 // MaxAbsDiff returns max |m[i] - b[i]|, a convergence measure.
 func (m *Dense) MaxAbsDiff(b *Dense) float64 {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: MaxAbsDiff dimension mismatch")
 	}
 	var d float64

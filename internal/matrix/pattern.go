@@ -30,9 +30,11 @@ func NewPattern(n int, edges []Edge) *Pattern {
 	deg := make([]int32, n)
 	for _, e := range edges {
 		if e.I == e.J {
+			//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 			panic(fmt.Sprintf("matrix: self loop %d", e.I))
 		}
 		if e.I < 0 || int(e.I) >= n || e.J < 0 || int(e.J) >= n {
+			//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 			panic(fmt.Sprintf("matrix: edge (%d,%d) out of range n=%d", e.I, e.J, n))
 		}
 		deg[e.I]++
@@ -59,6 +61,7 @@ func NewPattern(n int, edges []Edge) *Pattern {
 		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
 		for k := 1; k < len(row); k++ {
 			if row[k] == row[k-1] {
+				//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 				panic(fmt.Sprintf("matrix: duplicate edge (%d,%d)", i, row[k]))
 			}
 		}
@@ -157,6 +160,7 @@ func (v *PatVec) ToDense() *Dense {
 // O(deg(i)+deg(j)) merge.
 func MaskedMul(mt, at *PatVec) *PatVec {
 	if mt.P != at.P {
+		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 		panic("matrix: MaskedMul requires operands on the same pattern")
 	}
 	p := mt.P
@@ -180,6 +184,7 @@ func MaskedMul(mt, at *PatVec) *PatVec {
 // AddScaled accumulates v += s·w in place.
 func (v *PatVec) AddScaled(w *PatVec, s float64) {
 	if v.P != w.P {
+		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 		panic("matrix: AddScaled requires operands on the same pattern")
 	}
 	for k, x := range w.Val {

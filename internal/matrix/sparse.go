@@ -41,6 +41,7 @@ func NewCSR(rows, cols int, entries []Entry) *CSR {
 			k++
 		}
 		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 			panic(fmt.Sprintf("matrix: entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
 		}
 		m.Col = append(m.Col, e.Col)
@@ -102,6 +103,7 @@ func DenseToCSR(d *Dense) *CSR {
 // MulVec computes m · x.
 func (m *CSR) MulVec(x []float64) []float64 {
 	if m.Cols != len(x) {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: CSR MulVec dimension mismatch")
 	}
 	out := make([]float64, m.Rows)
@@ -121,6 +123,7 @@ func (m *CSR) MulVec(x []float64) []float64 {
 // MulVecT computes mᵀ · x without materializing the transpose.
 func (m *CSR) MulVecT(x []float64) []float64 {
 	if m.Rows != len(x) {
+		//lint:invariant dimension preconditions are programmer errors; tests assert these panics
 		panic("matrix: CSR MulVecT dimension mismatch")
 	}
 	out := make([]float64, m.Cols)

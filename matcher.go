@@ -129,10 +129,10 @@ func LoadMatcher(r io.Reader) (*Matcher, error) {
 		return nil, fmt.Errorf("er: decoding matcher: %w", err)
 	}
 	if model.Version != 1 {
-		return nil, fmt.Errorf("er: unsupported matcher version %d", model.Version)
+		return nil, fmt.Errorf("%w: unsupported matcher version %d", ErrBadData, model.Version)
 	}
 	if model.Terms == nil || model.Inverted == nil {
-		return nil, fmt.Errorf("er: matcher model missing fields")
+		return nil, fmt.Errorf("%w: matcher model missing fields", ErrBadData)
 	}
 	return &Matcher{
 		terms:    model.Terms,

@@ -13,20 +13,25 @@ import (
 // parameter setting (§VII-C): α = 20, S = 20, η = 0.98, 5 fusion rounds.
 type Options struct {
 	// Alpha is the non-linear transition exponent of the random walk
-	// (Eq. 11).
+	// (Eq. 11). Zero is invalid: Validate rejects it and NewPipeline
+	// normalizes it to the default 20.
 	Alpha float64
-	// Steps is S, the maximum walk length.
+	// Steps is S, the maximum walk length. Zero is invalid: Validate
+	// rejects it and NewPipeline normalizes it to the default 20.
 	Steps int
 	// Eta is the matching-probability threshold η. Because CliqueRank's
 	// output is a probability, η transfers across domains (the paper uses
-	// 0.98 everywhere).
+	// 0.98 everywhere). Zero is a legal threshold that declares every
+	// surviving candidate pair a match.
 	Eta float64
-	// FusionIterations is the number of ITER → CliqueRank rounds.
+	// FusionIterations is the number of ITER → CliqueRank rounds. Zero is
+	// invalid: Validate rejects it and NewPipeline normalizes it to the
+	// default 5.
 	FusionIterations int
 
 	// MaxDFRatio removes terms occurring in more than this fraction of
 	// records during pre-processing (§VII-A "remove the terms that are
-	// very frequent").
+	// very frequent"). Zero keeps every term: no frequency filter.
 	MaxDFRatio float64
 	// MaxTermRecords skips terms contained in more than this many records
 	// during candidate generation; 0 (the default) disables the cap and
@@ -41,7 +46,8 @@ type Options struct {
 	// and 0.2 is the equivalent operating point for this tokenizer).
 	MinJaccard float64
 	// Stopwords are removed during pre-processing regardless of frequency,
-	// for domain knowledge the frequency filter cannot see.
+	// for domain knowledge the frequency filter cannot see. Nil removes
+	// nothing beyond the frequency filter.
 	Stopwords []string
 	// MinSharedTerms requires candidate pairs to share at least this many
 	// terms (default 2). Set to 1 for the paper's literal footnote rule;
@@ -51,7 +57,9 @@ type Options struct {
 
 	// UseRSS swaps CliqueRank for the sampling-based RSS estimator.
 	UseRSS bool
-	// RSSWalks is M, the number of walks sampled per edge by RSS.
+	// RSSWalks is M, the number of walks sampled per edge by RSS. Zero is
+	// ignored unless UseRSS is set, in which case Validate rejects values
+	// below 2 and NewPipeline normalizes them to the default 20.
 	RSSWalks int
 
 	// L2Normalization switches ITER's per-iteration term-weight
@@ -109,23 +117,23 @@ func DefaultOptions() Options {
 func (o Options) Validate() error {
 	switch {
 	case o.Alpha <= 0:
-		return fmt.Errorf("er: Alpha must be positive, got %g", o.Alpha)
+		return fmt.Errorf("%w: Alpha must be positive, got %g", ErrInvalidOptions, o.Alpha)
 	case o.Steps < 1:
-		return fmt.Errorf("er: Steps must be >= 1, got %d", o.Steps)
+		return fmt.Errorf("%w: Steps must be >= 1, got %d", ErrInvalidOptions, o.Steps)
 	case o.Eta < 0 || o.Eta > 1:
-		return fmt.Errorf("er: Eta must be in [0,1], got %g", o.Eta)
+		return fmt.Errorf("%w: Eta must be in [0,1], got %g", ErrInvalidOptions, o.Eta)
 	case o.FusionIterations < 1:
-		return fmt.Errorf("er: FusionIterations must be >= 1, got %d", o.FusionIterations)
+		return fmt.Errorf("%w: FusionIterations must be >= 1, got %d", ErrInvalidOptions, o.FusionIterations)
 	case o.MaxDFRatio < 0 || o.MaxDFRatio > 1:
-		return fmt.Errorf("er: MaxDFRatio must be in [0,1], got %g", o.MaxDFRatio)
+		return fmt.Errorf("%w: MaxDFRatio must be in [0,1], got %g", ErrInvalidOptions, o.MaxDFRatio)
 	case o.MinJaccard < 0 || o.MinJaccard > 1:
-		return fmt.Errorf("er: MinJaccard must be in [0,1], got %g", o.MinJaccard)
+		return fmt.Errorf("%w: MinJaccard must be in [0,1], got %g", ErrInvalidOptions, o.MinJaccard)
 	case o.UseRSS && o.RSSWalks < 2:
-		return fmt.Errorf("er: RSSWalks must be >= 2 when UseRSS is set, got %d", o.RSSWalks)
+		return fmt.Errorf("%w: RSSWalks must be >= 2 when UseRSS is set, got %d", ErrInvalidOptions, o.RSSWalks)
 	case o.MaxCandidatePairs < 0:
-		return fmt.Errorf("er: MaxCandidatePairs must be >= 0, got %d", o.MaxCandidatePairs)
+		return fmt.Errorf("%w: MaxCandidatePairs must be >= 0, got %d", ErrInvalidOptions, o.MaxCandidatePairs)
 	case o.MaxWallClock < 0:
-		return fmt.Errorf("er: MaxWallClock must be >= 0, got %s", o.MaxWallClock)
+		return fmt.Errorf("%w: MaxWallClock must be >= 0, got %s", ErrInvalidOptions, o.MaxWallClock)
 	}
 	return nil
 }

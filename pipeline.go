@@ -64,6 +64,7 @@ func NewPipeline(d *Dataset, opts Options) *Pipeline {
 		// Unreachable: a background context cannot cancel and er.Dataset
 		// guarantees source labels aligned with records. Kept as a panic so
 		// a future regression fails loudly in tests rather than silently.
+		//lint:invariant background-context build cannot fail; a panic here is a regression tests must catch
 		panic(err)
 	}
 	return p
@@ -77,7 +78,7 @@ func NewPipeline(d *Dataset, opts Options) *Pipeline {
 func NewPipelineContext(ctx context.Context, d *Dataset, opts Options) (p *Pipeline, err error) {
 	defer recoverToError(&err)
 	if err := opts.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		return nil, err // Validate's errors wrap ErrInvalidOptions
 	}
 	if d == nil || d.NumRecords() == 0 {
 		return nil, ErrNoRecords
@@ -259,6 +260,7 @@ func (p *Pipeline) Hybrid(beta float64) []float64 {
 	// error baselines.Hybrid guards against cannot occur here.
 	out, err := baselines.Hybrid(sb, su, beta)
 	if err != nil {
+		//lint:invariant both score slices are aligned with p.graph.Pairs by construction
 		panic(err)
 	}
 	return out
@@ -304,6 +306,7 @@ func (p *Pipeline) Fusion() *FusionOutcome {
 	// only error path of FusionContext, so the error is unreachable here.
 	out, err := q.FusionContext(context.Background())
 	if err != nil {
+		//lint:invariant a budget-free background context cannot cancel, FusionContext's only error path
 		panic(err)
 	}
 	return out
@@ -420,7 +423,14 @@ func (p *Pipeline) TermWeightQuality(weights []float64) (float64, bool) {
 		w = append(w, weights[t])
 		o = append(o, s)
 	}
-	return eval.Spearman(w, o), true
+	rho, err := eval.Spearman(w, o)
+	if err != nil {
+		// Unreachable: w and o are appended pairwise above, so the only
+		// Spearman error (length mismatch) cannot occur. Reported as
+		// "no oracle" rather than crashing.
+		return 0, false
+	}
+	return rho, true
 }
 
 // TermScoreSeries returns the Figure 4 series for a weight vector: score(t)
@@ -580,7 +590,7 @@ func Resolve(d *Dataset, opts Options) (*Result, error) {
 func ResolveContext(ctx context.Context, d *Dataset, opts Options) (res *Result, err error) {
 	defer recoverToError(&err)
 	if err := opts.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		return nil, err // Validate's errors wrap ErrInvalidOptions
 	}
 	if d == nil || d.NumRecords() == 0 {
 		return nil, ErrNoRecords

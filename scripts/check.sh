@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# check.sh — the repo's single verification gate. CI runs exactly this
+# script, and so should you before pushing: if it exits 0, CI agrees.
+#
+# Stages, cheap to expensive: formatting, vet (full suite, then the
+# concurrency/format analyzers named explicitly so a stock-vet regression
+# cannot silently drop them), build, erlint (the repo-specific invariant
+# suite in cmd/erlint), and the race-enabled tests.
+#
+# govulncheck is intentionally absent: it needs network access to the
+# vulnerability database and this module is stdlib-only and built offline.
+# The placeholder lives in .github/workflows/ci.yml next to the other jobs;
+# enable it there when the build environment gains network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go vet (explicit: copylocks, loopclosure, printf)"
+go vet -copylocks -loopclosure -printf ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> erlint"
+go run ./cmd/erlint ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "All checks passed."

@@ -1,0 +1,108 @@
+// Command erserve runs the resolution daemon: an HTTP server that accepts
+// resolution jobs (CSV uploads or named benchmark replicas) and executes
+// them through the hardened pipeline under admission control, per-job
+// deadlines, per-class circuit breaking and graceful drain.
+//
+// Endpoints:
+//
+//	POST /resolve    submit a job and wait for its result
+//	GET  /jobs/{id}  inspect a retained job
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness (503 while draining)
+//	GET  /stats      counters, latency quantiles, breaker state
+//
+// On SIGTERM or SIGINT the daemon stops admitting work, lets in-flight
+// jobs finish within the drain budget, hard-cancels stragglers, and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		concurrency = flag.Int("concurrency", serve.DefaultMaxConcurrency, "jobs resolved in parallel")
+		queueDepth  = flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full queue fast-fails 429)")
+		jobTimeout  = flag.Duration("job-timeout", serve.DefaultJobTimeout, "per-job deadline, measured from admission")
+		drainBudget = flag.Duration("drain-budget", serve.DefaultDrainBudget, "graceful-drain budget on shutdown")
+		maxUpload   = flag.Int64("max-upload", serve.DefaultMaxUploadBytes, "maximum CSV upload size in bytes")
+		threshold   = flag.Int("breaker-threshold", serve.DefaultBreakerThreshold, "consecutive failures tripping a class breaker (negative disables)")
+		cooldown    = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "initial breaker open interval (doubles per re-trip)")
+		quiet       = flag.Bool("quiet", false, "suppress per-job lifecycle logs")
+	)
+	flag.Parse()
+	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet), *drainBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve:", err)
+		os.Exit(1)
+	}
+}
+
+func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool) serve.Options {
+	opts := serve.Options{
+		MaxConcurrency:   concurrency,
+		QueueDepth:       queueDepth,
+		JobTimeout:       jobTimeout,
+		DrainBudget:      drainBudget,
+		MaxUploadBytes:   maxUpload,
+		BreakerThreshold: threshold,
+		BreakerCooldown:  cooldown,
+	}
+	if !quiet {
+		opts.Logf = log.Printf
+	}
+	return opts
+}
+
+func run(addr string, opts serve.Options, drainBudget time.Duration) error {
+	srv := serve.New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	// Printed (not logged) so scripts binding :0 can scrape the port.
+	fmt.Printf("erserve listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("erserve: received %s, draining (budget %s)", s, drainBudget)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain order matters: first the job server (stops admission, waits for
+	// in-flight jobs, hard-cancels stragglers past the budget), then the
+	// HTTP server (waits for handlers, which unblock when their jobs reach
+	// terminal state). The outer context adds slack for straggler
+	// cancellation to propagate through guard checkpoints.
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget+10*time.Second)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("erserve: drained cleanly")
+	return nil
+}

@@ -1,11 +1,13 @@
 package er
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/guard"
 )
 
 // Record is one textual record to resolve.
@@ -55,10 +57,33 @@ func NewDataset(name string, records []Record) *Dataset {
 }
 
 // LoadCSV reads a dataset from a CSV stream with header id,entity,source,text.
+// It is LoadCSVContext with a background context (no cancellation, raw
+// parse errors).
 func LoadCSV(r io.Reader, name string) (*Dataset, error) {
 	ds, err := dataset.LoadCSV(r, name)
 	if err != nil {
 		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// LoadCSVContext reads a dataset from a CSV stream under ctx. The row loop
+// polls a cancellation checkpoint, so an oversized or stalled upload aborts
+// mid-parse — with an error wrapping context.Canceled or
+// context.DeadlineExceeded — instead of only after the whole stream has
+// been consumed. Unreadable or structurally malformed input surfaces as an
+// error wrapping ErrBadData (retrying the same bytes cannot succeed).
+func LoadCSVContext(ctx context.Context, r io.Reader, name string) (*Dataset, error) {
+	// Stride 1: a CSV row parse is µs-scale work, so an un-amortized channel
+	// poll per row is noise — and amortization would blind small files to an
+	// already-canceled context.
+	check := guard.FromContext(ctx).WithStride(1)
+	ds, err := dataset.LoadCSVCheck(r, name, check)
+	if err != nil {
+		if ctxErr := check.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("er: csv load aborted: %w", ctxErr)
+		}
+		return nil, fmt.Errorf("%w: %w", ErrBadData, err)
 	}
 	return &Dataset{ds: ds}, nil
 }

@@ -1,8 +1,10 @@
 package er
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
 )
 
 // The library's structured error taxonomy. Every error returned by Resolve,
@@ -51,6 +53,47 @@ var (
 	// server embedding the library never crashes on one bad request.
 	ErrInternal = errors.New("er: internal error")
 )
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499) that
+// HTTPStatus assigns to context.Canceled: the caller walked away, so no
+// 4xx/5xx from the registry describes the outcome.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error from the resolution API onto the HTTP status a
+// server should answer with. It is the single authority consulted by
+// cmd/erserve, so the taxonomy-to-status table lives next to the taxonomy
+// itself:
+//
+//	nil                       → 200 OK
+//	ErrInvalidOptions         → 400 (fix the request's configuration)
+//	ErrBadData, ErrNoRecords  → 400 (fix the uploaded payload)
+//	ErrNoCandidates           → 422 (well-formed, but nothing can match)
+//	ErrBudgetExceeded         → 504 (the job's own deadline/budget elapsed)
+//	context.DeadlineExceeded  → 504
+//	context.Canceled          → 499 (client closed request)
+//	ErrInternal, anything else → 500
+//
+// Order matters: ErrBudgetExceeded errors also wrap
+// context.DeadlineExceeded, and both outrank the generic fallthrough.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrInvalidOptions),
+		errors.Is(err, ErrBadData),
+		errors.Is(err, ErrNoRecords):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNoCandidates):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
 
 // recoverToError converts a panic in the resolution path into an error
 // wrapping ErrInternal. It is installed by the public entry points; internal

@@ -1,7 +1,10 @@
 package er
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"testing"
 )
 
@@ -24,5 +27,35 @@ func TestRecoverToError(t *testing.T) {
 	}
 	if err := clean(); err != nil {
 		t.Fatalf("clean path produced %v", err)
+	}
+}
+
+// TestHTTPStatus pins the taxonomy-to-status table, including the wrapped
+// forms the pipeline actually produces (a budget error wraps both
+// ErrBudgetExceeded and context.DeadlineExceeded and must rank as 504, not
+// fall through on whichever sentinel is tested first).
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrInvalidOptions, http.StatusBadRequest},
+		{fmt.Errorf("%w: Eta out of range", ErrInvalidOptions), http.StatusBadRequest},
+		{ErrBadData, http.StatusBadRequest},
+		{ErrNoRecords, http.StatusBadRequest},
+		{ErrNoCandidates, http.StatusUnprocessableEntity},
+		{ErrBudgetExceeded, http.StatusGatewayTimeout},
+		{fmt.Errorf("er: wall-clock budget exhausted: %w; %w", ErrBudgetExceeded, context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, StatusClientClosedRequest},
+		{fmt.Errorf("er: resolution aborted: %w", context.Canceled), StatusClientClosedRequest},
+		{ErrInternal, http.StatusInternalServerError},
+		{errors.New("unclassified"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
 	}
 }

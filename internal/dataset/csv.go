@@ -2,9 +2,12 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/guard"
 )
 
 // CSV layout used by WriteCSV/LoadCSV:
@@ -36,26 +39,41 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 }
 
 // LoadCSV parses a dataset written by WriteCSV (or any file with the same
-// header). Records are re-indexed densely in file order.
+// header). Records are re-indexed densely in file order. It is
+// LoadCSVCheck without a cancellation checkpoint.
 func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	return LoadCSVCheck(r, name, nil)
+}
+
+// LoadCSVCheck is LoadCSV with a cancellation checkpoint polled once per
+// row, so a huge (or maliciously unbounded) upload can be aborted mid-parse
+// instead of only after the whole stream has been consumed. A canceled
+// checkpoint surfaces its cause (context.Canceled / DeadlineExceeded); a
+// nil checkpoint never cancels.
+func LoadCSVCheck(r io.Reader, name string, check *guard.Checkpoint) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty csv")
-	}
-	start := 0
-	if len(rows[0]) >= 1 && rows[0][0] == "id" {
-		start = 1
-	}
 	d := &Dataset{Name: name, NumSources: 1}
 	entityIDs := make(map[string]int)
-	for _, row := range rows[start:] {
+	rowIdx, sawHeader := 0, false
+	for {
+		if err := check.Tick(); err != nil {
+			return nil, fmt.Errorf("dataset: csv load aborted at row %d: %w", rowIdx, err)
+		}
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		if rowIdx == 0 && len(row) >= 1 && row[0] == "id" {
+			rowIdx, sawHeader = 1, true
+			continue
+		}
+		rowIdx++
 		if len(row) < 4 {
-			return nil, fmt.Errorf("dataset: row %d has %d columns, want >=4", len(d.Records)+start, len(row))
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want >=4", rowIdx-1, len(row))
 		}
 		entity := -1
 		if row[1] != "" {
@@ -68,7 +86,7 @@ func LoadCSV(r io.Reader, name string) (*Dataset, error) {
 		}
 		source, err := strconv.Atoi(row[2])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: row %d: bad source %q: %w", len(d.Records)+start, row[2], err)
+			return nil, fmt.Errorf("dataset: row %d: bad source %q: %w", rowIdx-1, row[2], err)
 		}
 		text := row[3]
 		for _, extra := range row[4:] {
@@ -85,6 +103,9 @@ func LoadCSV(r io.Reader, name string) (*Dataset, error) {
 			Source:   source,
 			Text:     text,
 		})
+	}
+	if len(d.Records) == 0 && !sawHeader {
+		return nil, fmt.Errorf("dataset: empty csv")
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

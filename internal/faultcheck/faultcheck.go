@@ -3,7 +3,10 @@
 // streams the way unreliable transports do, and adversarial dataset
 // generators covering the degenerate corpus shapes that break naive
 // entity-resolution pipelines (empty texts, single records, all-identical
-// records, one giant block, unicode garbage).
+// records, one giant block, unicode garbage). Serving-oriented drivers
+// round out the suite: a slow-client reader, a reader that cancels a
+// context at an exact stream offset, and a concurrent storm driver for
+// admission-control tests.
 //
 // Everything is seeded and reproducible: the same configuration always
 // injects the same faults, so a failure found by the harness can be
@@ -11,10 +14,12 @@
 package faultcheck
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 )
 
 // ErrInjected is the error a ChaosReader returns when its failure point is
@@ -73,6 +78,98 @@ func (c *ChaosReader) Read(p []byte) (int, error) {
 	n, err := c.src.Read(p[:n])
 	c.delivered += int64(n)
 	return n, err
+}
+
+// SlowReader simulates a slow client: it delivers src in Chunk-byte pieces
+// and invokes Pause between deliveries. Pause is a plain hook (tests inject
+// time.Sleep, a channel wait, or a counter), which keeps the driver itself
+// deterministic and clock-free.
+type SlowReader struct {
+	src io.Reader
+	// Chunk caps the bytes per Read; values below 1 are treated as 1.
+	Chunk int
+	// Pause runs before every Read (nil pauses nothing).
+	Pause func()
+}
+
+// NewSlowReader returns a SlowReader delivering chunk-byte reads with pause
+// between them.
+func NewSlowReader(src io.Reader, chunk int, pause func()) *SlowReader {
+	return &SlowReader{src: src, Chunk: chunk, Pause: pause}
+}
+
+// Read implements io.Reader with throttled, fragmented delivery.
+func (s *SlowReader) Read(p []byte) (int, error) {
+	if s.Pause != nil {
+		s.Pause()
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := s.Chunk
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	return s.src.Read(p[:n])
+}
+
+// CancelAfterReader cancels a context once a byte threshold has been
+// delivered, then keeps serving bytes normally — the consumer's own
+// cancellation checkpoints, not the reader, must abort the work. It drives
+// mid-job cancellation tests: the cancel fires at a deterministic point in
+// the stream regardless of scheduler timing.
+type CancelAfterReader struct {
+	src io.Reader
+	// After is the delivered-byte threshold that triggers Cancel.
+	After int64
+	// Cancel runs once when After bytes have been delivered.
+	Cancel context.CancelFunc
+
+	delivered int64
+	fired     bool
+}
+
+// NewCancelAfterReader returns a reader that invokes cancel after the first
+// `after` bytes of src have been delivered.
+func NewCancelAfterReader(src io.Reader, after int64, cancel context.CancelFunc) *CancelAfterReader {
+	return &CancelAfterReader{src: src, After: after, Cancel: cancel}
+}
+
+// Read implements io.Reader, firing the cancellation exactly once at the
+// configured offset.
+func (c *CancelAfterReader) Read(p []byte) (int, error) {
+	n, err := c.src.Read(p)
+	c.delivered += int64(n)
+	if !c.fired && c.delivered >= c.After && c.Cancel != nil {
+		c.fired = true
+		c.Cancel()
+	}
+	return n, err
+}
+
+// Storm fires n invocations of f concurrently — an overload burst — and
+// returns the per-invocation results in index order. It is the load driver
+// for admission-control tests: every invocation starts as close to
+// simultaneously as a barrier can arrange, so a bounded queue sees the full
+// burst at once.
+func Storm(n int, f func(i int) error) []error {
+	out := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			out[i] = f(i)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return out
 }
 
 // Record mirrors er.Record structurally (text, source, entity label)

@@ -2,12 +2,15 @@ package faultcheck
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/guard"
 )
 
 func sampleCSV() string {
@@ -114,6 +117,89 @@ func TestChaosReaderEmptyBuffer(t *testing.T) {
 	cr := New(bytes.NewReader([]byte("abc")), 1)
 	if n, err := cr.Read(nil); n != 0 || err != nil {
 		t.Fatalf("Read(nil) = %d, %v", n, err)
+	}
+}
+
+// TestSlowReaderDeliversEverything checks that throttling is invisible to
+// the consumer (bytes intact, Pause invoked once per read).
+func TestSlowReaderDeliversEverything(t *testing.T) {
+	payload := sampleCSV()
+	pauses := 0
+	sr := NewSlowReader(strings.NewReader(payload), 3, func() { pauses++ })
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatal("payload corrupted by throttled delivery")
+	}
+	if pauses < len(payload)/3 {
+		t.Fatalf("Pause invoked %d times for %d bytes of 3-byte reads", pauses, len(payload))
+	}
+}
+
+// TestCancelAfterReaderFiresOnce pins the cancellation offset: the hook
+// fires exactly once, at the first read that crosses the threshold, and the
+// stream keeps delivering afterwards.
+func TestCancelAfterReaderFiresOnce(t *testing.T) {
+	payload := sampleCSV()
+	fired := 0
+	cr := NewCancelAfterReader(strings.NewReader(payload), 10, func() { fired++ })
+	got, err := io.ReadAll(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatal("payload corrupted")
+	}
+	if fired != 1 {
+		t.Fatalf("cancel fired %d times, want 1", fired)
+	}
+}
+
+// TestLoadCSVCheckCancelsMidParse is the satellite acceptance test: a huge
+// CSV stream whose context is canceled partway must abort the parse with
+// the cancellation cause well before the stream is consumed — the row loop,
+// not only the final Validate, observes the checkpoint.
+func TestLoadCSVCheckCancelsMidParse(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("id,entity,source,text\n")
+	for i := 0; i < 50_000; i++ {
+		fmt.Fprintf(&b, "%d,,0,record number %d with some words\n", i, i)
+	}
+	payload := b.String()
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewCancelAfterReader(strings.NewReader(payload), int64(len(payload)/10), cancel)
+	check := guard.FromContext(ctx).WithStride(1)
+	d, err := dataset.LoadCSVCheck(src, "huge", check)
+	if err == nil {
+		t.Fatalf("canceled mid-parse yet parsed %d records to completion", len(d.Records))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if src.delivered > int64(len(payload))/2 {
+		t.Fatalf("parse consumed %d of %d bytes after cancellation — row loop is not polling",
+			src.delivered, len(payload))
+	}
+}
+
+// TestStormRunsEveryInvocation checks the storm driver's accounting: n
+// results, index-aligned, none lost.
+func TestStormRunsEveryInvocation(t *testing.T) {
+	errs := Storm(32, func(i int) error {
+		if i%2 == 0 {
+			return nil
+		}
+		return fmt.Errorf("odd %d", i)
+	})
+	if len(errs) != 32 {
+		t.Fatalf("%d results for 32 invocations", len(errs))
+	}
+	for i, err := range errs {
+		if (i%2 == 0) != (err == nil) {
+			t.Fatalf("result %d misaligned: %v", i, err)
+		}
 	}
 }
 

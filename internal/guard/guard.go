@@ -9,7 +9,9 @@ package guard
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultStride is the number of Tick calls between actual cancellation
@@ -96,4 +98,100 @@ func (c *Checkpoint) Tick() error {
 		return nil
 	}
 	return c.Err()
+}
+
+// Done exposes the checkpoint's cancellation channel so servers can select
+// on it alongside queue and timer channels. A nil checkpoint returns a nil
+// channel, which blocks forever in a select — the correct behavior for a
+// signal that can never fire.
+func (c *Checkpoint) Done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.done
+}
+
+// Sleep blocks for d or until ctx is done, whichever comes first. It returns
+// nil after a full sleep and ctx.Err() when interrupted, making backoff and
+// probe delays cancellable without hand-rolled timer plumbing. Non-positive
+// durations return immediately (after a cancellation poll).
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Tracker counts in-flight units of work for graceful drain: a server
+// acquires one slot per running job and Drain waits — bounded by a context —
+// for the count to return to zero. The zero Tracker is ready to use.
+type Tracker struct {
+	mu   sync.Mutex
+	n    int
+	idle chan struct{} // non-nil while n > 0; closed when n returns to 0
+}
+
+// Acquire registers one unit of in-flight work and returns its release
+// function. The release is idempotent: calling it more than once releases
+// the slot only once, so it is safe in a defer alongside explicit early
+// release paths.
+func (t *Tracker) Acquire() (release func()) {
+	t.mu.Lock()
+	if t.n == 0 {
+		t.idle = make(chan struct{})
+	}
+	t.n++
+	t.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.n--
+			if t.n == 0 {
+				close(t.idle)
+				t.idle = nil
+			}
+			t.mu.Unlock()
+		})
+	}
+}
+
+// InFlight returns the number of acquired, unreleased slots.
+func (t *Tracker) InFlight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Drain blocks until every in-flight unit is released or ctx is done. It
+// returns true when the tracker reached idle, false when ctx expired first
+// (the caller should then cancel the stragglers and wait again). Work
+// acquired after Drain observes an idle tracker is the caller's race to
+// prevent — stop admission before draining.
+func (t *Tracker) Drain(ctx context.Context) bool {
+	for {
+		t.mu.Lock()
+		idle := t.idle
+		t.mu.Unlock()
+		if idle == nil {
+			return true
+		}
+		select {
+		case <-idle:
+			// Re-check: a new acquisition may have replaced the channel
+			// between the close and this wakeup.
+		case <-ctx.Done():
+			return false
+		}
+	}
 }

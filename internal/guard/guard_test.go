@@ -140,6 +140,118 @@ func TestCheckpointAfterDeadlineExpiry(t *testing.T) {
 	}
 }
 
+func TestDoneChannel(t *testing.T) {
+	var nilC *Checkpoint
+	if nilC.Done() != nil {
+		t.Fatal("nil checkpoint must expose a nil (never-firing) Done channel")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := FromContext(ctx)
+	select {
+	case <-c.Done():
+		t.Fatal("Done fired before cancellation")
+	default:
+	}
+	cancel()
+	select {
+	case <-c.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done did not fire after cancellation")
+	}
+}
+
+func TestSleepCompletesAndCancels(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero-duration Sleep = %v", err)
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("full Sleep = %v", err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(canceled, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not abort promptly on cancellation")
+	}
+}
+
+func TestTrackerDrainWaitsForRelease(t *testing.T) {
+	var tr Tracker
+	if !tr.Drain(context.Background()) {
+		t.Fatal("idle tracker must drain immediately")
+	}
+	release := tr.Acquire()
+	if tr.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", tr.InFlight())
+	}
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if tr.Drain(short) {
+		t.Fatal("Drain returned true with work in flight")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- tr.Drain(context.Background()) }()
+	release()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Drain returned false after release")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not observe the release")
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after release, want 0", tr.InFlight())
+	}
+}
+
+func TestTrackerReleaseIdempotent(t *testing.T) {
+	var tr Tracker
+	a, b := tr.Acquire(), tr.Acquire()
+	a()
+	a() // double release must not free b's slot
+	if tr.InFlight() != 1 {
+		t.Fatalf("InFlight = %d after double release, want 1", tr.InFlight())
+	}
+	b()
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", tr.InFlight())
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	var tr Tracker
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				release := tr.Acquire()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after all releases, want 0", tr.InFlight())
+	}
+	if !tr.Drain(context.Background()) {
+		t.Fatal("tracker must be drainable after concurrent churn")
+	}
+}
+
 func TestWithStrideConcurrentTicks(t *testing.T) {
 	// Derived and original checkpoints share the cancellation signal but
 	// not the tick counter; hammering both from multiple goroutines must be

@@ -14,6 +14,11 @@ var determinismCallPackages = map[string]bool{
 	"repro/internal/core":   true,
 	"repro/internal/matrix": true,
 	"repro/internal/graph":  true,
+	// The serve daemon is not a kernel, but its breaker transitions and
+	// latency accounting must be reproducible under a fake clock in tests,
+	// so it takes the same discipline: all time flows through an injected
+	// clock.Func.
+	"repro/internal/serve": true,
 }
 
 // determinismMapPackages additionally ban order-sensitive accumulation over
@@ -26,6 +31,9 @@ var determinismMapPackages = map[string]bool{
 	"repro/internal/matrix":   true,
 	"repro/internal/graph":    true,
 	"repro/internal/blocking": true,
+	// serve's /stats output lists breaker classes built from a map; the
+	// wire format must not leak map iteration order.
+	"repro/internal/serve": true,
 }
 
 // Determinism returns the analyzer enforcing seeded, injected-ambient

@@ -7,12 +7,14 @@ import (
 	"strings"
 )
 
-// optZeroPackages hold the two Options structs whose zero values are API
-// surface: the public er.Options and the internal core.Options it lowers
-// into.
+// optZeroPackages hold the Options structs whose zero values are API
+// surface: the public er.Options, the internal core.Options it lowers
+// into, and the daemon's serve.Options (whose zero value must boot a
+// working server).
 var optZeroPackages = map[string]bool{
-	"repro":               true,
-	"repro/internal/core": true,
+	"repro":                true,
+	"repro/internal/core":  true,
+	"repro/internal/serve": true,
 }
 
 // zeroDocPattern recognizes a documented zero-value behavior. It accepts

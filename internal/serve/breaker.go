@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// breakerState is the circuit-breaker state machine position of one class.
+type breakerState int
+
+const (
+	// breakerClosed admits traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen fast-fails traffic until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen admits exactly one probe; its outcome decides
+	// between closing and re-opening with doubled backoff.
+	breakerHalfOpen
+)
+
+// String names the state for /stats and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerClass is the per-class tracking record.
+type breakerClass struct {
+	state     breakerState
+	failures  int       // consecutive server-side failures while closed
+	trips     int       // times tripped since last close, drives backoff
+	openUntil time.Time // when open, the earliest half-open probe time
+	probing   bool      // half-open: a probe is in flight
+}
+
+// breaker is a consecutive-failure circuit breaker keyed by job class
+// (dataset kind + configuration family). Server-side failures — budget
+// blowups, panics, internal errors — trip a class after `threshold` in a
+// row; a tripped class fast-fails with 503 until its cooldown elapses, then
+// admits a single half-open probe. Probe success closes the class; probe
+// failure re-opens it with the cooldown doubled (capped at maxCooldown).
+// Client-attributable outcomes (bad options, bad data, client gone) are
+// neutral: they neither trip nor heal.
+type breaker struct {
+	mu          sync.Mutex
+	clock       clock.Func
+	threshold   int // <0 disables the breaker entirely
+	cooldown    time.Duration
+	maxCooldown time.Duration
+	classes     map[string]*breakerClass
+}
+
+func newBreaker(threshold int, cooldown, maxCooldown time.Duration, clk clock.Func) *breaker {
+	return &breaker{
+		clock:       clock.OrSystem(clk),
+		threshold:   threshold,
+		cooldown:    cooldown,
+		maxCooldown: maxCooldown,
+		classes:     make(map[string]*breakerClass),
+	}
+}
+
+// class returns (creating if needed) the record for a class key. Callers
+// hold b.mu.
+func (b *breaker) class(key string) *breakerClass {
+	c, ok := b.classes[key]
+	if !ok {
+		c = &breakerClass{}
+		b.classes[key] = c
+	}
+	return c
+}
+
+// allow reports whether a request of the given class may proceed. When the
+// class is open it returns false with the remaining cooldown (for a
+// Retry-After header); when the cooldown has elapsed it transitions to
+// half-open and admits the caller as the probe (probe=true). At most one
+// probe is outstanding per class.
+func (b *breaker) allow(key string) (ok bool, probe bool, retryAfter time.Duration) {
+	if b.threshold < 0 {
+		return true, false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.class(key)
+	switch c.state {
+	case breakerClosed:
+		return true, false, 0
+	case breakerOpen:
+		now := b.clock()
+		if now.Before(c.openUntil) {
+			return false, false, c.openUntil.Sub(now)
+		}
+		c.state = breakerHalfOpen
+		c.probing = true
+		return true, true, 0
+	default: // half-open
+		if c.probing {
+			return false, false, b.backoff(c.trips)
+		}
+		c.probing = true
+		return true, true, 0
+	}
+}
+
+// onSuccess records a server-side success: a half-open probe (or any
+// success) closes the class and resets its failure and backoff history.
+func (b *breaker) onSuccess(key string) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.class(key)
+	c.state = breakerClosed
+	c.failures = 0
+	c.trips = 0
+	c.probing = false
+}
+
+// onFailure records a server-side failure. Closed classes trip once the
+// consecutive count reaches the threshold; a failed half-open probe
+// re-opens immediately with doubled backoff. It returns true when this
+// failure tripped (or re-tripped) the class, so the caller can log it.
+func (b *breaker) onFailure(key string) bool {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.class(key)
+	switch c.state {
+	case breakerHalfOpen:
+		b.trip(c)
+		return true
+	case breakerClosed:
+		c.failures++
+		if c.failures >= b.threshold {
+			b.trip(c)
+			return true
+		}
+	}
+	return false
+}
+
+// onNeutral records an outcome that says nothing about the backend's
+// health: client errors, client disconnects, shed work. A half-open class
+// releases its probe slot so the next request can probe again.
+func (b *breaker) onNeutral(key string) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.class(key)
+	if c.state == breakerHalfOpen {
+		c.probing = false
+	}
+}
+
+// trip moves a class to open with exponential backoff. Callers hold b.mu.
+func (b *breaker) trip(c *breakerClass) {
+	c.trips++
+	c.state = breakerOpen
+	c.probing = false
+	c.failures = 0
+	c.openUntil = b.clock().Add(b.backoff(c.trips))
+}
+
+// backoff returns cooldown * 2^(trips-1), capped at maxCooldown.
+func (b *breaker) backoff(trips int) time.Duration {
+	d := b.cooldown
+	for i := 1; i < trips; i++ {
+		d *= 2
+		if d >= b.maxCooldown {
+			return b.maxCooldown
+		}
+	}
+	if d > b.maxCooldown {
+		return b.maxCooldown
+	}
+	return d
+}
+
+// BreakerClassStats is the /stats view of one breaker class.
+type BreakerClassStats struct {
+	Class    string `json:"class"`
+	State    string `json:"state"`
+	Failures int    `json:"consecutive_failures"`
+	Trips    int    `json:"trips"`
+}
+
+// snapshot lists every class sorted by key, for stable /stats output.
+func (b *breaker) snapshot() []BreakerClassStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerClassStats, 0, len(b.classes))
+	for key, c := range b.classes {
+		out = append(out, BreakerClassStats{
+			Class:    key,
+			State:    c.state.String(),
+			Failures: c.failures,
+			Trips:    c.trips,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source, making breaker cooldown
+// transitions deterministic.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestBreakerStateMachine drives the full closed → open → half-open →
+// {closed, open} cycle through a scripted event table against an injected
+// clock.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	const class = "replica:restaurant"
+
+	type step struct {
+		name    string
+		event   func() // state input: failure, success, neutral, or clock advance
+		ok      bool   // expected allow() outcome after the event
+		probe   bool
+		blocked bool // expect retryAfter > 0
+	}
+	steps := []step{
+		{name: "closed allows", event: func() {}, ok: true},
+		{name: "one failure stays closed", event: func() { b.onFailure(class) }, ok: true},
+		{name: "two failures stay closed", event: func() { b.onFailure(class) }, ok: true},
+		{name: "third failure trips open", event: func() { b.onFailure(class) }, ok: false, blocked: true},
+		{name: "open persists before cooldown", event: func() { clk.Advance(50 * time.Millisecond) }, ok: false, blocked: true},
+		{name: "cooldown elapses: half-open probe", event: func() { clk.Advance(50 * time.Millisecond) }, ok: true, probe: true},
+		{name: "second request during probe blocked", event: func() {}, ok: false, blocked: true},
+		{name: "probe failure re-opens with doubled backoff", event: func() { b.onFailure(class) }, ok: false, blocked: true},
+		{name: "first cooldown no longer enough", event: func() { clk.Advance(100 * time.Millisecond) }, ok: false, blocked: true},
+		{name: "doubled cooldown elapses: probe again", event: func() { clk.Advance(100 * time.Millisecond) }, ok: true, probe: true},
+		{name: "neutral probe outcome releases the slot", event: func() { b.onNeutral(class) }, ok: true, probe: true},
+		{name: "probe success closes", event: func() { b.onSuccess(class) }, ok: true},
+		{name: "closed again: backoff history reset", event: func() {
+			b.onFailure(class)
+			b.onFailure(class)
+			b.onFailure(class)
+			clk.Advance(100 * time.Millisecond) // original cooldown suffices after reset
+		}, ok: true, probe: true},
+	}
+	for _, s := range steps {
+		s.event()
+		ok, probe, retryAfter := b.allow(class)
+		if ok != s.ok || probe != s.probe {
+			t.Fatalf("%s: allow() = (ok=%v probe=%v), want (ok=%v probe=%v)", s.name, ok, probe, s.ok, s.probe)
+		}
+		if s.blocked && retryAfter <= 0 {
+			t.Fatalf("%s: expected positive retryAfter, got %s", s.name, retryAfter)
+		}
+		if !s.blocked && retryAfter != 0 {
+			t.Fatalf("%s: expected zero retryAfter, got %s", s.name, retryAfter)
+		}
+		// A granted probe stays outstanding until a later step settles it
+		// via onFailure/onSuccess/onNeutral — exactly like a real in-flight
+		// probe job.
+	}
+}
+
+// TestBreakerBackoffCap verifies the exponential backoff saturates at
+// maxCooldown instead of growing without bound.
+func TestBreakerBackoffCap(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	const class = "upload"
+
+	// Trip repeatedly: cooldowns should run 100ms, 200ms, 400ms, 400ms...
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	b.onFailure(class) // trip #1
+	for i, cd := range want {
+		_, _, retryAfter := b.allow(class)
+		if retryAfter != cd {
+			t.Fatalf("trip %d: retryAfter = %s, want %s", i+1, retryAfter, cd)
+		}
+		clk.Advance(cd)
+		ok, probe, _ := b.allow(class)
+		if !ok || !probe {
+			t.Fatalf("trip %d: expected probe after cooldown, got ok=%v probe=%v", i+1, ok, probe)
+		}
+		b.onFailure(class) // probe fails, re-trip with doubled backoff
+	}
+}
+
+// TestBreakerIndependentClasses confirms one sick class cannot trip
+// another.
+func TestBreakerIndependentClasses(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	b.onFailure("replica:paper")
+	if ok, _, _ := b.allow("replica:paper"); ok {
+		t.Fatal("tripped class should be blocked")
+	}
+	if ok, _, _ := b.allow("replica:restaurant"); !ok {
+		t.Fatal("untripped class should be allowed")
+	}
+	snap := b.snapshot()
+	if len(snap) != 2 || snap[0].Class != "replica:paper" || snap[1].Class != "replica:restaurant" {
+		t.Fatalf("snapshot not sorted by class: %+v", snap)
+	}
+}
+
+// TestBreakerDisabled confirms a negative threshold turns the breaker into
+// a pass-through.
+func TestBreakerDisabled(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(-1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	for i := 0; i < 50; i++ {
+		b.onFailure("x")
+	}
+	if ok, probe, retryAfter := b.allow("x"); !ok || probe || retryAfter != 0 {
+		t.Fatalf("disabled breaker must always allow, got ok=%v probe=%v retryAfter=%s", ok, probe, retryAfter)
+	}
+}

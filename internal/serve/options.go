@@ -1,0 +1,145 @@
+// Package serve implements the long-running resolution daemon behind
+// cmd/erserve: a bounded-admission job queue feeding a fixed worker pool,
+// per-request isolation (own context deadline, panic containment), a
+// per-class circuit breaker with half-open probing and exponential backoff,
+// and graceful drain with a bounded budget. The package exists so the
+// hardened execution layer of the core library (guard checkpoints, budgets,
+// the error taxonomy) has a host that actually exercises it under load:
+// every job runs through er.ResolveContext with its own deadline, and every
+// failure mode — overload, deadline, panic, shutdown — maps to a documented
+// HTTP status via er.HTTPStatus.
+package serve
+
+import (
+	"context"
+	"time"
+
+	er "repro"
+	"repro/internal/clock"
+)
+
+// Default values selected by the zero Options fields.
+const (
+	// DefaultMaxConcurrency is the worker-pool size selected by a zero
+	// Options.MaxConcurrency.
+	DefaultMaxConcurrency = 2
+	// DefaultQueueDepth is the admission-queue capacity selected by a zero
+	// Options.QueueDepth.
+	DefaultQueueDepth = 16
+	// DefaultJobTimeout is the per-job deadline selected by a zero
+	// Options.JobTimeout.
+	DefaultJobTimeout = 60 * time.Second
+	// DefaultDrainBudget is the graceful-drain budget selected by a zero
+	// Options.DrainBudget.
+	DefaultDrainBudget = 15 * time.Second
+	// DefaultMaxUploadBytes is the CSV upload cap selected by a zero
+	// Options.MaxUploadBytes.
+	DefaultMaxUploadBytes = 16 << 20
+	// DefaultBreakerThreshold is the consecutive-failure trip point
+	// selected by a zero Options.BreakerThreshold.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is the first open interval selected by a zero
+	// Options.BreakerCooldown.
+	DefaultBreakerCooldown = 5 * time.Second
+	// DefaultBreakerMaxCooldown caps the exponential backoff, selected by a
+	// zero Options.BreakerMaxCooldown.
+	DefaultBreakerMaxCooldown = 2 * time.Minute
+	// DefaultLatencyWindow is the per-stage latency ring size selected by a
+	// zero Options.LatencyWindow.
+	DefaultLatencyWindow = 512
+	// DefaultRetainedJobs is the terminal-job history size selected by a
+	// zero Options.RetainedJobs.
+	DefaultRetainedJobs = 256
+)
+
+// Options configures a Server. The zero value is valid: every field's zero
+// selects the documented default, so embedding callers configure only what
+// they care about.
+type Options struct {
+	// MaxConcurrency is the number of jobs resolved in parallel (the worker
+	// pool size). Zero selects DefaultMaxConcurrency.
+	MaxConcurrency int
+	// QueueDepth bounds the jobs admitted but not yet running. A full queue
+	// fast-fails new work with 429. Zero selects DefaultQueueDepth.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock deadline, measured from
+	// admission (queue wait counts against it, which is what makes queued
+	// work sheddable). Zero selects DefaultJobTimeout.
+	JobTimeout time.Duration
+	// DrainBudget is how long Shutdown lets in-flight jobs finish before
+	// hard-canceling the stragglers. Zero selects DefaultDrainBudget.
+	DrainBudget time.Duration
+	// MaxUploadBytes caps the size of an uploaded CSV body. Zero selects
+	// DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+	// BreakerThreshold is the number of consecutive server-side failures in
+	// one job class that trips its circuit breaker. Zero selects
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before the first half-open
+	// probe; each re-trip doubles it. Zero selects DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the exponential backoff between probes. Zero
+	// selects DefaultBreakerMaxCooldown.
+	BreakerMaxCooldown time.Duration
+	// LatencyWindow is the number of recent samples kept per latency stage
+	// for the /stats quantiles. Zero selects DefaultLatencyWindow.
+	LatencyWindow int
+	// RetainedJobs bounds the terminal jobs kept for /jobs/{id} lookups.
+	// Zero selects DefaultRetainedJobs.
+	RetainedJobs int
+	// Clock injects the time source used for latency accounting and
+	// breaker transitions. Nil selects the system clock; tests inject a
+	// fake to make breaker timing deterministic.
+	Clock clock.Func
+	// Runner executes one resolution job. Nil selects er.ResolveContext;
+	// the fault-injection suite substitutes panicking, stalling and
+	// erroring runners to drive the isolation boundary.
+	Runner func(ctx context.Context, d *er.Dataset, opts er.Options) (*er.Result, error)
+	// Logf receives one line per lifecycle event (admission, completion,
+	// trip, drain). Nil discards logs.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults returns a copy with every zero field resolved to its
+// documented default.
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrency <= 0 {
+		o.MaxConcurrency = DefaultMaxConcurrency
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = DefaultJobTimeout
+	}
+	if o.DrainBudget <= 0 {
+		o.DrainBudget = DefaultDrainBudget
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = DefaultBreakerMaxCooldown
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = DefaultLatencyWindow
+	}
+	if o.RetainedJobs <= 0 {
+		o.RetainedJobs = DefaultRetainedJobs
+	}
+	o.Clock = clock.OrSystem(o.Clock)
+	if o.Runner == nil {
+		o.Runner = er.ResolveContext
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}

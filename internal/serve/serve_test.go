@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	er "repro"
+	"repro/internal/faultcheck"
+	"repro/internal/guard"
+)
+
+// quickResult is the minimal successful outcome a stub runner returns.
+func quickResult() *er.Result {
+	return &er.Result{
+		Matches:   []er.Match{{I: 0, J: 1, Probability: 1}},
+		Clusters:  [][]int{{0, 1}},
+		Converged: true,
+	}
+}
+
+// newTestServer boots a Server plus an httptest front end and tears both
+// down in the right order: drain the job server first so blocked handlers
+// unblock, then close the HTTP server.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+		hs.Close()
+	})
+	return s, hs
+}
+
+// postJSON submits a replica job and decodes the response body.
+func postJSON(t *testing.T, url string, body string) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/resolve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /resolve: %v", err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, jr
+}
+
+func getStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	return st
+}
+
+// TestResolveReplicaEndToEnd runs a real resolution (no stub runner)
+// through the full HTTP surface: submit, inspect via /jobs/{id}, and read
+// /stats.
+func TestResolveReplicaEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.2,"seed":7}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (error: %s)", status, jr.Error)
+	}
+	if jr.State != JobCompleted {
+		t.Fatalf("state = %s, want completed", jr.State)
+	}
+	if jr.Records == 0 || jr.Clusters == 0 {
+		t.Fatalf("expected populated result, got records=%d clusters=%d", jr.Records, jr.Clusters)
+	}
+	if jr.Evaluation == nil {
+		t.Fatal("replica datasets carry ground truth; expected an evaluation")
+	}
+
+	resp, err := http.Get(hs.URL + "/jobs/" + jr.JobID)
+	if err != nil {
+		t.Fatalf("GET /jobs/{id}: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job lookup status = %d, want 200", resp.StatusCode)
+	}
+
+	st := getStats(t, hs.URL)
+	if st.Completed != 1 || st.Admitted != 1 {
+		t.Fatalf("stats = completed %d admitted %d, want 1/1", st.Completed, st.Admitted)
+	}
+	if st.RunLatency.Samples == 0 {
+		t.Fatal("expected run-latency samples after a completed job")
+	}
+}
+
+// TestResolveCSVUpload round-trips a replica through WriteCSV and the
+// upload endpoint.
+func TestResolveCSVUpload(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	var buf bytes.Buffer
+	if err := er.RestaurantReplica(er.ReplicaConfig{Scale: 0.2, Seed: 7}).WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	resp, err := http.Post(hs.URL+"/resolve", "text/csv", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("POST csv: %v", err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("upload resolve = %d/%s (error %q), want 200/completed", resp.StatusCode, jr.State, jr.Error)
+	}
+	if jr.Class != "upload" {
+		t.Fatalf("class = %q, want upload", jr.Class)
+	}
+}
+
+// TestUploadChaosMapsToTaxonomy feeds the upload endpoint a body that
+// fails mid-stream via the chaos reader and expects a structured 400
+// carrying the bad-data taxonomy kind — not a hang, not a 500.
+func TestUploadChaosMapsToTaxonomy(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	var buf bytes.Buffer
+	if err := er.RestaurantReplica(er.ReplicaConfig{Scale: 0.2, Seed: 7}).WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	chaos := faultcheck.New(bytes.NewReader(buf.Bytes()), 42)
+	chaos.FailAfter = int64(buf.Len() / 2)
+
+	req := httptest.NewRequest(http.MethodPost, "/resolve", io.NopCloser(chaos))
+	req.Header.Set("Content-Type", "text/csv")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", rec.Code, rec.Body.String())
+	}
+	var er2 errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er2.Kind != "bad_data" {
+		t.Fatalf("kind = %q, want bad_data; error: %s", er2.Kind, er2.Error)
+	}
+	if !strings.Contains(er2.Error, "injected read error") {
+		t.Fatalf("error should surface the injected fault, got %q", er2.Error)
+	}
+}
+
+// TestResolveRejectsBadRequests covers the admission-side 4xx surface.
+func TestResolveRejectsBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		wantStatus  int
+		wantKind    string
+	}{
+		{"unknown replica", "application/json", `{"replica":"imaginary"}`, http.StatusBadRequest, "invalid_options"},
+		{"unknown field", "application/json", `{"replica":"paper","bogus":1}`, http.StatusBadRequest, "bad_request"},
+		{"malformed json", "application/json", `{"replica":`, http.StatusBadRequest, "bad_request"},
+		{"invalid eta", "application/json", `{"replica":"paper","options":{"eta":1.5}}`, http.StatusBadRequest, "invalid_options"},
+		{"wrong media type", "text/plain", "hello", http.StatusUnsupportedMediaType, "unsupported_media_type"},
+		{"empty csv", "text/csv", "", http.StatusBadRequest, "bad_data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/resolve", tc.contentType, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			var body errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if resp.StatusCode != tc.wantStatus || body.Kind != tc.wantKind {
+				t.Fatalf("got %d/%q, want %d/%q (error %q)", resp.StatusCode, body.Kind, tc.wantStatus, tc.wantKind, body.Error)
+			}
+		})
+	}
+}
+
+// chaosRunner drives failure modes keyed off the request's Seed option, so
+// one server can serve healthy, panicking and stalling jobs in one test:
+// seed 666 panics, seed 667 stalls until the job deadline, anything else
+// succeeds quickly.
+func chaosRunner(ctx context.Context, _ *er.Dataset, o er.Options) (*er.Result, error) {
+	switch o.Seed {
+	case 666:
+		panic("chaos: injected panic")
+	case 667:
+		<-ctx.Done()
+		return nil, fmt.Errorf("chaos: stalled out: %w", context.Cause(ctx))
+	default:
+		if err := guard.Sleep(ctx, time.Millisecond); err != nil {
+			return nil, fmt.Errorf("chaos: %w", context.Cause(ctx))
+		}
+		return quickResult(), nil
+	}
+}
+
+// TestPanicIsolation proves a panicking job becomes a structured 500 while
+// the daemon keeps serving: /healthz stays 200 and the next job succeeds.
+func TestPanicIsolation(t *testing.T) {
+	s, hs := newTestServer(t, Options{Runner: chaosRunner, BreakerThreshold: -1})
+
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05,"options":{"seed":666}}`)
+	if status != http.StatusInternalServerError || jr.Kind != "internal" {
+		t.Fatalf("panicking job = %d/%q, want 500/internal (error %q)", status, jr.Kind, jr.Error)
+	}
+	if !strings.Contains(jr.Error, "injected panic") {
+		t.Fatalf("panic payload lost: %q", jr.Error)
+	}
+	if s.c.panics.Load() != 1 {
+		t.Fatalf("panics counter = %d, want 1", s.c.panics.Load())
+	}
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+
+	status, jr = postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+	if status != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("job after panic = %d/%s, want 200/completed", status, jr.State)
+	}
+}
+
+// TestJobDeadlineMapsTo504 proves a job that blows its per-job deadline
+// surfaces as a 504 carrying the budget taxonomy.
+func TestJobDeadlineMapsTo504(t *testing.T) {
+	_, hs := newTestServer(t, Options{Runner: chaosRunner, JobTimeout: 50 * time.Millisecond, BreakerThreshold: -1})
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05,"options":{"seed":667}}`)
+	if status != http.StatusGatewayTimeout || jr.Kind != "budget_exceeded" {
+		t.Fatalf("deadline job = %d/%q, want 504/budget_exceeded (error %q)", status, jr.Kind, jr.Error)
+	}
+	if jr.State != JobFailed {
+		t.Fatalf("state = %s, want failed", jr.State)
+	}
+}
+
+// TestQueuedJobIsShedAfterDeadline proves load shedding: a job whose
+// deadline expires while it waits in the queue is answered without
+// running.
+func TestQueuedJobIsShedAfterDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	runner := func(ctx context.Context, _ *er.Dataset, o er.Options) (*er.Result, error) {
+		if o.Seed == 1000 { // the blocker holding the single worker
+			<-gate
+		}
+		return quickResult(), nil
+	}
+	s, hs := newTestServer(t, Options{
+		Runner:           runner,
+		MaxConcurrency:   1,
+		QueueDepth:       2,
+		JobTimeout:       60 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+
+	blockerDone := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05,"options":{"seed":1000}}`)
+		blockerDone <- status
+	}()
+	waitFor(t, func() bool { return s.c.running.Load() == 1 })
+
+	victimDone := make(chan jobResponse, 1)
+	victimStatus := make(chan int, 1)
+	go func() {
+		status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+		victimStatus <- status
+		victimDone <- jr
+	}()
+	waitFor(t, func() bool { return len(s.queue) == 1 })
+
+	// Hold the worker until the victim's deadline has long expired, then
+	// release; the worker must shed the victim instead of running it.
+	time.Sleep(120 * time.Millisecond)
+	close(gate)
+
+	if status := <-victimStatus; status != http.StatusGatewayTimeout {
+		t.Fatalf("victim status = %d, want 504", status)
+	}
+	if jr := <-victimDone; jr.State != JobShed {
+		t.Fatalf("victim state = %s, want shed", jr.State)
+	}
+	if status := <-blockerDone; status != http.StatusOK {
+		t.Fatalf("blocker status = %d, want 200", status)
+	}
+	if s.c.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.c.shed.Load())
+	}
+}
+
+// TestDrainingRejectsNewWork proves the admission/readiness flip on
+// shutdown: healthz stays 200, readyz and new submissions go 503.
+func TestDrainingRejectsNewWork(t *testing.T) {
+	s := New(Options{Runner: chaosRunner})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+	if status != http.StatusServiceUnavailable || jr.Kind != "draining" {
+		t.Fatalf("post-drain submit = %d/%q, want 503/draining", status, jr.Kind)
+	}
+	for path, want := range map[string]int{"/healthz": http.StatusOK, "/readyz": http.StatusServiceUnavailable} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown not idempotent: %v", err)
+	}
+}
+
+// TestBreakerTripsOverHTTP drives the breaker through the HTTP surface: a
+// run of failing jobs trips the class, subsequent submissions fast-fail
+// 503 with Retry-After, and other classes keep working.
+func TestBreakerTripsOverHTTP(t *testing.T) {
+	failing := func(ctx context.Context, _ *er.Dataset, o er.Options) (*er.Result, error) {
+		if o.Seed == 666 {
+			return nil, fmt.Errorf("%w: simulated backend failure", er.ErrInternal)
+		}
+		return quickResult(), nil
+	}
+	s, hs := newTestServer(t, Options{
+		Runner:           failing,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // never half-opens during the test
+	})
+
+	for i := 0; i < 3; i++ {
+		status, _ := postJSON(t, hs.URL, `{"replica":"paper","options":{"seed":666}}`)
+		if status != http.StatusInternalServerError {
+			t.Fatalf("failing job %d = %d, want 500", i, status)
+		}
+	}
+	resp, err := http.Post(hs.URL+"/resolve", "application/json", strings.NewReader(`{"replica":"paper","options":{"seed":666}}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped class = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("expected Retry-After on a breaker rejection")
+	}
+	var body errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Kind != "breaker_open" {
+		t.Fatalf("kind = %q, want breaker_open", body.Kind)
+	}
+	if s.c.tripped.Load() != 1 {
+		t.Fatalf("tripped counter = %d, want 1", s.c.tripped.Load())
+	}
+
+	// Another class is unaffected.
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant"}`)
+	if status != http.StatusOK {
+		t.Fatalf("healthy class through tripped server = %d (%s), want 200", status, jr.Error)
+	}
+}
+
+// waitFor polls a condition with a hard deadline; test-only helper for
+// crossing goroutine visibility without sleeping fixed amounts.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

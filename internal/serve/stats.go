@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters aggregates the server's monotonic event counts. Every request
+// increments exactly one terminal counter (completed, failed, shed,
+// rejected, tripped, unavailable), which is what the stress suite asserts:
+// terminal counts sum to the request count, nothing is lost.
+type counters struct {
+	admitted    atomic.Int64 // entered the queue
+	completed   atomic.Int64 // resolved successfully
+	failed      atomic.Int64 // ran and returned an error (any class)
+	shed        atomic.Int64 // dequeued but not run: deadline unmeetable or drain
+	rejected    atomic.Int64 // fast-failed 429 on a full queue
+	tripped     atomic.Int64 // fast-failed 503 by an open breaker
+	unavailable atomic.Int64 // fast-failed 503 during drain
+	panics      atomic.Int64 // panics converted to errors by the job boundary
+	running     atomic.Int64 // gauge: jobs executing right now
+}
+
+// latencyRing keeps the most recent window of duration samples for one
+// pipeline stage and reports exact quantiles over that window. A bounded
+// window instead of a streaming sketch: the arithmetic is exact, the memory
+// is constant, and /stats is called far less often than jobs complete.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+}
+
+func newLatencyRing(window int) *latencyRing {
+	return &latencyRing{samples: make([]time.Duration, window)}
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.samples[r.next] = d
+	r.next++
+	if r.next == len(r.samples) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// LatencyStats is the /stats view of one stage's recent latencies.
+type LatencyStats struct {
+	Samples int     `json:"samples"`
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// quantiles computes exact quantiles over the current window.
+func (r *latencyRing) quantiles() LatencyStats {
+	r.mu.Lock()
+	n := r.next
+	if r.filled {
+		n = len(r.samples)
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.samples[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(n-1))
+		return float64(window[idx]) / float64(time.Millisecond)
+	}
+	return LatencyStats{
+		Samples: n,
+		P50Ms:   at(0.50),
+		P90Ms:   at(0.90),
+		P99Ms:   at(0.99),
+		MaxMs:   float64(window[n-1]) / float64(time.Millisecond),
+	}
+}
+
+// Stats is the full /stats snapshot.
+type Stats struct {
+	QueueDepth     int                 `json:"queue_depth"`
+	QueueCapacity  int                 `json:"queue_capacity"`
+	InFlight       int                 `json:"in_flight"`
+	Running        int64               `json:"running"`
+	Draining       bool                `json:"draining"`
+	Admitted       int64               `json:"admitted"`
+	Completed      int64               `json:"completed"`
+	Failed         int64               `json:"failed"`
+	Shed           int64               `json:"shed"`
+	Rejected       int64               `json:"rejected_429"`
+	BreakerTripped int64               `json:"breaker_tripped_503"`
+	Unavailable    int64               `json:"draining_503"`
+	Panics         int64               `json:"panics_recovered"`
+	QueueLatency   LatencyStats        `json:"queue_latency"`
+	RunLatency     LatencyStats        `json:"run_latency"`
+	TotalLatency   LatencyStats        `json:"total_latency"`
+	Breakers       []BreakerClassStats `json:"breakers"`
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	er "repro"
+	"repro/internal/faultcheck"
+	"repro/internal/guard"
+)
+
+// TestStressEveryRequestTerminal storms a tiny-queue instance with far
+// more concurrent jobs than it can hold and asserts the overload contract:
+// every request receives exactly one terminal status, only 200 or 429
+// appear, and the terminal counters account for every request with nothing
+// lost. Run with -race, this is also the data-race gauntlet for the whole
+// admission path.
+func TestStressEveryRequestTerminal(t *testing.T) {
+	s, hs := newTestServer(t, Options{
+		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
+			if err := guard.Sleep(ctx, time.Millisecond); err != nil {
+				return nil, fmt.Errorf("stress: %w", context.Cause(ctx))
+			}
+			return quickResult(), nil
+		},
+		MaxConcurrency:   2,
+		QueueDepth:       2,
+		BreakerThreshold: -1,
+	})
+
+	const n = 64
+	statuses := make([]int64, n)
+	errs := faultcheck.Storm(n, func(i int) error {
+		resp, err := http.Post(hs.URL+"/resolve", "application/json",
+			strings.NewReader(`{"replica":"restaurant","scale":0.05}`))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			return err
+		}
+		atomic.StoreInt64(&statuses[i], int64(resp.StatusCode))
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d transport error: %v", i, err)
+		}
+	}
+
+	var ok200, rej429 int64
+	for i := range statuses {
+		switch atomic.LoadInt64(&statuses[i]) {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			rej429++
+		default:
+			t.Fatalf("request %d got status %d; overload must yield only 200 or 429", i, statuses[i])
+		}
+	}
+	if ok200+rej429 != n {
+		t.Fatalf("lost requests: 200s %d + 429s %d != %d", ok200, rej429, n)
+	}
+	if ok200 == 0 {
+		t.Fatal("storm starved out completely; expected some completions")
+	}
+
+	st := s.Stats()
+	if st.Completed+st.Rejected != n {
+		t.Fatalf("counters leak: completed %d + rejected %d != %d", st.Completed, st.Rejected, n)
+	}
+	if st.Completed != ok200 || st.Rejected != rej429 {
+		t.Fatalf("counters disagree with observed statuses: %d/%d vs %d/%d", st.Completed, st.Rejected, ok200, rej429)
+	}
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("server not idle after storm: in-flight %d, queued %d", st.InFlight, st.QueueDepth)
+	}
+}
+
+// TestRejectOnlyWhenQueueFull pins the 429 condition deterministically:
+// with the single worker blocked and the queue filled to capacity, the
+// next request is rejected; until then every request is admitted.
+func TestRejectOnlyWhenQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	s, hs := newTestServer(t, Options{
+		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
+			select {
+			case <-gate:
+				return quickResult(), nil
+			case <-ctx.Done():
+				return nil, fmt.Errorf("stress: %w", context.Cause(ctx))
+			}
+		},
+		MaxConcurrency:   1,
+		QueueDepth:       1,
+		BreakerThreshold: -1,
+	})
+
+	results := make(chan int, 2)
+	post := func() {
+		status, _ := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+		results <- status
+	}
+
+	go post() // occupies the worker
+	waitFor(t, func() bool { return s.c.running.Load() == 1 })
+	go post() // occupies the queue slot
+	waitFor(t, func() bool { return len(s.queue) == 1 })
+
+	// Queue provably full: this submission must fast-fail 429 without
+	// waiting on the gate.
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("full-queue submit = %d (%s), want 429", status, jr.Error)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if got := <-results; got != http.StatusOK {
+			t.Fatalf("admitted request %d = %d, want 200", i, got)
+		}
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("stats = rejected %d completed %d, want 1/2", st.Rejected, st.Completed)
+	}
+}
+
+// TestChaosAcceptance is the survival gauntlet from the issue: one
+// panicking job, one deadline-blown job, and a 2× overload storm — with
+// /healthz probed throughout and a normal job afterwards. The daemon must
+// answer everything, stay live, and keep working.
+func TestChaosAcceptance(t *testing.T) {
+	s, hs := newTestServer(t, Options{
+		Runner:           chaosRunner,
+		MaxConcurrency:   2,
+		QueueDepth:       2,
+		JobTimeout:       150 * time.Millisecond,
+		BreakerThreshold: 20, // present but out of reach: chaos here is client-scripted
+	})
+
+	stop := make(chan struct{})
+	healthFailures := make(chan string, 64)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				close(healthFailures)
+				return
+			default:
+			}
+			resp, err := http.Get(hs.URL + "/healthz")
+			if err != nil {
+				healthFailures <- err.Error()
+			} else {
+				if resp.StatusCode != http.StatusOK {
+					healthFailures <- fmt.Sprintf("healthz status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// 2× overload: twice as many concurrent jobs as workers+queue, with a
+	// panic and a deadline-stall mixed in.
+	const n = 2 * (2 + 2)
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = `{"replica":"restaurant","scale":0.05}`
+	}
+	bodies[1] = `{"replica":"restaurant","scale":0.05,"options":{"seed":666}}` // panics
+	bodies[3] = `{"replica":"restaurant","scale":0.05,"options":{"seed":667}}` // stalls to deadline
+
+	statuses := make([]int64, n)
+	errs := faultcheck.Storm(n, func(i int) error {
+		resp, err := http.Post(hs.URL+"/resolve", "application/json", strings.NewReader(bodies[i]))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			return err
+		}
+		atomic.StoreInt64(&statuses[i], int64(resp.StatusCode))
+		return nil
+	})
+	close(stop)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("chaos request %d transport error: %v", i, err)
+		}
+	}
+	for msg := range healthFailures {
+		t.Errorf("liveness violated during chaos: %s", msg)
+	}
+
+	allowed := map[int64]bool{
+		http.StatusOK:                  true, // completed
+		http.StatusTooManyRequests:     true, // queue overflow
+		http.StatusInternalServerError: true, // recovered panic
+		http.StatusGatewayTimeout:      true, // deadline blown (running or shed)
+	}
+	for i := range statuses {
+		if got := atomic.LoadInt64(&statuses[i]); !allowed[got] {
+			t.Fatalf("chaos request %d got unexpected status %d", i, got)
+		}
+	}
+
+	st := s.Stats()
+	if total := st.Completed + st.Failed + st.Shed + st.Rejected; total != n {
+		t.Fatalf("terminal accounting: completed %d + failed %d + shed %d + rejected %d != %d",
+			st.Completed, st.Failed, st.Shed, st.Rejected, n)
+	}
+
+	// The daemon must still work after the storm.
+	status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+	if status != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("post-chaos job = %d/%s (%s), want 200/completed", status, jr.State, jr.Error)
+	}
+}
+
+// TestShutdownDrainsInFlight proves the graceful path: jobs admitted
+// before Shutdown complete with 200 while the drain waits for them, and
+// the worker pool exits without leaking goroutines.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	gate := make(chan struct{})
+	s := New(Options{
+		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
+			select {
+			case <-gate:
+				return quickResult(), nil
+			case <-ctx.Done():
+				return nil, fmt.Errorf("stress: %w", context.Cause(ctx))
+			}
+		},
+		MaxConcurrency:   2,
+		DrainBudget:      5 * time.Second,
+		BreakerThreshold: -1,
+	})
+	hs := httptest.NewServer(s.Handler())
+
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			status, _ := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+			results <- status
+		}()
+	}
+	waitFor(t, func() bool { return s.c.running.Load() == 2 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	waitFor(t, func() bool { return s.Draining() })
+
+	// In-flight jobs finish normally once released; the drain must wait
+	// for them rather than cancel.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if got := <-results; got != http.StatusOK {
+			t.Fatalf("in-flight job %d = %d, want 200 on graceful drain", i, got)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	hs.Close()
+
+	// Worker goroutines must be gone. Poll: the runtime needs a moment to
+	// reap HTTP keep-alive and test goroutines.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+}
+
+// TestDrainBudgetCancelsStragglers proves the hard edge of drain: a job
+// that outlives the budget is canceled through its context, surfaces as a
+// 503 draining failure, and Shutdown still completes in bounded time.
+func TestDrainBudgetCancelsStragglers(t *testing.T) {
+	s := New(Options{
+		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
+			<-ctx.Done() // ignores the drain request until canceled
+			return nil, fmt.Errorf("straggler: %w", context.Cause(ctx))
+		},
+		MaxConcurrency:   1,
+		DrainBudget:      50 * time.Millisecond,
+		JobTimeout:       time.Hour,
+		BreakerThreshold: -1,
+	})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	result := make(chan jobResponse, 1)
+	statusCh := make(chan int, 1)
+	go func() {
+		status, jr := postJSON(t, hs.URL, `{"replica":"restaurant","scale":0.05}`)
+		statusCh <- status
+		result <- jr
+	}()
+	waitFor(t, func() bool { return s.c.running.Load() == 1 })
+
+	begin := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if took := time.Since(begin); took > 5*time.Second {
+		t.Fatalf("drain took %s; the budget is 50ms plus cancellation latency", took)
+	}
+
+	if status := <-statusCh; status != http.StatusServiceUnavailable {
+		t.Fatalf("straggler status = %d, want 503", status)
+	}
+	if jr := <-result; jr.Kind != "draining" {
+		t.Fatalf("straggler kind = %q, want draining (error %q)", jr.Kind, jr.Error)
+	}
+}

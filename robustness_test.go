@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,6 +89,39 @@ func TestAdversarialCasesAllMethods(t *testing.T) {
 				t.Fatalf("clusters cover %d of %d records", seen, d.NumRecords())
 			}
 		})
+	}
+}
+
+// TestLoadCSVContextTaxonomy pins the LoadCSVContext error classification:
+// malformed bytes wrap ErrBadData, cancellation mid-parse wraps the context
+// cause, and a clean load matches LoadCSV.
+func TestLoadCSVContextTaxonomy(t *testing.T) {
+	good := "id,entity,source,text\n0,e0,0,alpha beta\n1,e0,0,alpha beta\n"
+	d, err := er.LoadCSVContext(context.Background(), strings.NewReader(good), "ok")
+	if err != nil || d.NumRecords() != 2 {
+		t.Fatalf("clean load: d=%v err=%v", d, err)
+	}
+
+	if _, err := er.LoadCSVContext(context.Background(),
+		strings.NewReader("\"unterminated quote\n"), "bad"); !errors.Is(err, er.ErrBadData) {
+		t.Fatalf("malformed csv: %v, want ErrBadData", err)
+	}
+	frag := faultcheck.New(strings.NewReader(good), 1)
+	if d2, err := er.LoadCSVContext(context.Background(), frag, "frag"); err != nil || d2.NumRecords() != 2 {
+		t.Fatalf("fragmentation alone must be invisible: d=%v err=%v", d2, err)
+	}
+	broken := faultcheck.New(strings.NewReader(good), 1)
+	broken.FailAfter = 12
+	if _, err := er.LoadCSVContext(context.Background(), broken, "chaos"); !errors.Is(err, er.ErrBadData) {
+		t.Fatalf("mid-stream read fault: %v, want ErrBadData", err)
+	} else if !errors.Is(err, faultcheck.ErrInjected) {
+		t.Fatalf("mid-stream read fault %v lost the injected cause", err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := er.LoadCSVContext(canceled, strings.NewReader(good), "canceled"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled load: %v, want context.Canceled", err)
 	}
 }
 

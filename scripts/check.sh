@@ -5,7 +5,8 @@
 # Stages, cheap to expensive: formatting, vet (full suite, then the
 # concurrency/format analyzers named explicitly so a stock-vet regression
 # cannot silently drop them), build, erlint (the repo-specific invariant
-# suite in cmd/erlint), and the race-enabled tests.
+# suite in cmd/erlint), the race-enabled tests, and the erserve daemon
+# smoke test (real binary, real sockets, real SIGTERM drain).
 #
 # govulncheck is intentionally absent: it needs network access to the
 # vulnerability database and this module is stdlib-only and built offline.
@@ -36,5 +37,8 @@ go run ./cmd/erlint ./...
 
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> erserve smoke (boot, resolve, drain)"
+./scripts/smoke_erserve.sh
 
 echo "All checks passed."

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# smoke_erserve.sh — end-to-end smoke test of the resolution daemon.
+#
+# Boots cmd/erserve on an ephemeral port, resolves a benchmark replica over
+# HTTP, checks the observability endpoints, then sends SIGTERM and requires
+# a clean graceful drain (exit code 0). Run by scripts/check.sh and CI; it
+# is the one test that exercises the real binary, real sockets and real
+# signals rather than httptest plumbing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/erserve" ./cmd/erserve
+
+out="$workdir/erserve.log"
+"$workdir/erserve" -addr 127.0.0.1:0 -quiet -drain-budget 10s >"$out" 2>&1 &
+pid=$!
+# Second trap layer: never leave the daemon running, whatever fails below.
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# The daemon prints "erserve listening on <addr>" once bound; scrape it.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^erserve listening on //p' "$out" | head -n1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "erserve never reported its listen address:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+base="http://$addr"
+
+echo "==> erserve smoke: healthz + readyz"
+curl -sf "$base/healthz" >/dev/null
+curl -sf "$base/readyz" >/dev/null
+
+echo "==> erserve smoke: resolve replica"
+resp=$(curl -sf -X POST "$base/resolve" -H 'Content-Type: application/json' \
+    -d '{"replica":"restaurant","scale":0.2,"seed":7}')
+if ! echo "$resp" | grep -q '"state": "completed"'; then
+    echo "unexpected resolve response: $resp" >&2
+    exit 1
+fi
+
+echo "==> erserve smoke: stats"
+stats=$(curl -sf "$base/stats")
+for needle in '"completed": 1' '"in_flight": 0' '"draining": false'; do
+    if ! echo "$stats" | grep -q "$needle"; then
+        echo "stats missing $needle: $stats" >&2
+        exit 1
+    fi
+done
+
+echo "==> erserve smoke: SIGTERM drain"
+kill -TERM "$pid"
+# A clean graceful drain must exit 0; set -e turns anything else into a
+# smoke failure.
+wait "$pid"
+
+echo "erserve smoke passed."

@@ -29,9 +29,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for replica generation and the pipeline")
 	csvDir := flag.String("csv", "", "directory to write full figure series as CSV (optional)")
 	svgDir := flag.String("svg", "", "directory to write figures as SVG charts (optional)")
+	workers := flag.Int("workers", 0, "kernel goroutines per pipeline run (0 = GOMAXPROCS); results are identical for every value")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
 	fmt.Printf("erbench: scale=%.2f seed=%d (α=20, S=20, η=0.98, 5 fusion iterations)\n\n", *scale, *seed)
 
 	run := func(name string, fn func() (string, error)) {

@@ -77,6 +77,7 @@ func main() {
 	useRSS := flag.Bool("rss", false, "use the sampling-based RSS estimator instead of CliqueRank")
 	maxPairs := flag.Int("max-pairs", 0, "candidate-pair budget (0 = unlimited); degrades blocking gracefully")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	workers := flag.Int("workers", 0, "kernel goroutines (0 = GOMAXPROCS); results are identical for every value")
 	verbose := flag.Bool("v", false, "print every matched pair with its record texts")
 	explain := flag.Bool("explain", false, "print the shared-term evidence behind each matched pair")
 	maxClusters := flag.Int("clusters", 10, "number of largest clusters to print")
@@ -99,6 +100,7 @@ func main() {
 	opts.UseRSS = *useRSS
 	opts.MaxCandidatePairs = *maxPairs
 	opts.MaxWallClock = *timeout
+	opts.Workers = *workers
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -43,17 +43,19 @@ func main() {
 		threshold   = flag.Int("breaker-threshold", serve.DefaultBreakerThreshold, "consecutive failures tripping a class breaker (negative disables)")
 		cooldown    = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "initial breaker open interval (doubles per re-trip)")
 		quiet       = flag.Bool("quiet", false, "suppress per-job lifecycle logs")
+		workers     = flag.Int("workers-per-job", 0, "kernel-goroutine budget per job (0 = GOMAXPROCS/concurrency, min 1)")
 	)
 	flag.Parse()
-	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet), *drainBudget); err != nil {
+	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet, *workers), *drainBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}
 }
 
-func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool) serve.Options {
+func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool, workersPerJob int) serve.Options {
 	opts := serve.Options{
 		MaxConcurrency:   concurrency,
+		WorkersPerJob:    workersPerJob,
 		QueueDepth:       queueDepth,
 		JobTimeout:       jobTimeout,
 		DrainBudget:      drainBudget,

@@ -74,6 +74,46 @@ type Graph struct {
 	// TermPairs holds, per term, the IDs of the pair nodes it connects to.
 	// len(TermPairs[t]) is the paper's P_t after candidate restriction.
 	TermPairs [][]int32
+	// PairTermPtr/PairTerms are the transpose of TermPairs in CSR layout:
+	// the terms connected to pair p are PairTerms[PairTermPtr[p]:
+	// PairTermPtr[p+1]], ascending. The transpose turns ITER's term→pair
+	// scatter into a race-free per-pair gather; because terms are visited in
+	// ascending order either way, the gather adds contributions in exactly
+	// the scatter's order and the sweep stays bit-identical to the serial
+	// term-major loop. Built by BuildPairIndex; nil on hand-rolled graphs,
+	// in which case consumers fall back to the serial scatter.
+	PairTermPtr []int32
+	PairTerms   []int32
+}
+
+// BuildPairIndex (re)builds the pair→term CSR transpose of TermPairs. Build
+// and Truncate call it; a caller that assembles a Graph by hand only needs
+// it to opt into the parallel ITER sweep.
+func (g *Graph) BuildPairIndex() {
+	np := g.NumPairs()
+	ptr := make([]int32, np+1)
+	//lint:ignore guardloop output-sized transpose of the already-built adjacency; the guarded stage is the quadratic enumeration in Build, upstream
+	for _, pairIDs := range g.TermPairs {
+		for _, pid := range pairIDs {
+			ptr[pid+1]++
+		}
+	}
+	for p := 0; p < np; p++ {
+		ptr[p+1] += ptr[p]
+	}
+	terms := make([]int32, ptr[np])
+	fill := make([]int32, np)
+	copy(fill, ptr[:np])
+	// Terms are scanned ascending, so each pair's term list comes out
+	// ascending — the property the gather's bit-identity argument needs.
+	for t, pairIDs := range g.TermPairs {
+		for _, pid := range pairIDs {
+			terms[fill[pid]] = int32(t)
+			fill[pid]++
+		}
+	}
+	g.PairTermPtr = ptr
+	g.PairTerms = terms
 }
 
 // Build constructs the candidate set and bipartite graph for the corpus.
@@ -166,6 +206,7 @@ func Build(c *textproc.Corpus, source []int, opts Options) (*Graph, error) {
 			}
 		}
 	}
+	g.BuildPairIndex()
 	return g, nil
 }
 
@@ -200,6 +241,7 @@ func Truncate(g *Graph, maxPairs int) *Graph {
 			}
 		}
 	}
+	out.BuildPairIndex()
 	return out
 }
 

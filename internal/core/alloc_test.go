@@ -1,0 +1,54 @@
+//go:build !race
+
+// The race detector instruments allocation and inflates AllocsPerRun, so
+// this regression suite only runs in normal builds; the determinism suite
+// covers the same code paths under -race.
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFusionInnerLoopAllocs pins the steady-state allocation count of one
+// reinforcement round — ITER with its reused scratch, the arena-backed
+// record-graph build, and CliqueRank writing into a caller buffer. The
+// pre-arena implementation allocated ~4300 times per round (fresh working
+// vectors, per-row sort closures in the pattern build); the budget below is
+// the measured ~76 with headroom, so a regression that reintroduces
+// per-round buffer churn fails loudly.
+func TestFusionInnerLoopAllocs(t *testing.T) {
+	_, g := productScaleGraph(t)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	sc := &iterScratch{}
+	ar := &arena{}
+	p := onesP(g)
+	pbuf := make([]float64, g.NumPairs())
+	rng := rand.New(rand.NewSource(1))
+	round := func() {
+		res := runITER(g, p, opts, rng, sc)
+		rg := buildRecordGraph(g, res.S, g.NumRecords, ar)
+		CliqueRankInto(rg, opts, pbuf)
+		rg.release()
+	}
+	round() // warm the scratch and arena
+	round()
+	if got := testing.AllocsPerRun(5, round); got > 120 {
+		t.Errorf("fusion round allocates %.0f times, budget 120", got)
+	}
+
+	// The kernels alone must stay near-zero: the only per-call allocations
+	// are the result struct, the Updates series, and a fixed set of closure
+	// headers.
+	if got := testing.AllocsPerRun(5, func() { runITER(g, p, opts, rng, sc) }); got > 40 {
+		t.Errorf("runITER allocates %.0f times with warm scratch, budget 40", got)
+	}
+	res := runITER(g, p, opts, rng, sc)
+	rg := buildRecordGraph(g, res.S, g.NumRecords, ar)
+	defer rg.release()
+	if got := testing.AllocsPerRun(5, func() { CliqueRankInto(rg, opts, pbuf) }); got > 60 {
+		t.Errorf("CliqueRankInto allocates %.0f times with warm arena, budget 60", got)
+	}
+}

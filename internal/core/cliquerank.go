@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // CliqueRank implements the matrix reformulation of RSS (§VI-C). It builds
@@ -25,63 +26,84 @@ import (
 // The returned slice is aligned with the candidate pairs; dropped pairs get
 // probability 0.
 func CliqueRank(rg *RecordGraph, opts Options) []float64 {
+	p := make([]float64, len(rg.PairSlot))
+	CliqueRankInto(rg, opts, p)
+	return p
+}
+
+// CliqueRankInto writes the CliqueRank probabilities into p (length
+// len(rg.PairSlot)), overwriting every element, and draws all matrix
+// scratch from the record graph's arena when it has one. The row loops, the
+// masked products, and the readout fan out over opts.Workers goroutines
+// through the deterministic scheduler; every worker count produces
+// bit-identical probabilities.
+func CliqueRankInto(rg *RecordGraph, opts Options, p []float64) {
 	pat := rg.Pattern
+	ar := rg.arena
+	nnz := pat.NNZ()
+	workers := opts.Workers
 
 	// Per-row max-normalized powered weights w(i,j) = (s(i,j)/smax_i)^α and
-	// their row sums. Normalizing before powering keeps w finite for any α.
-	w := matrix.NewPatVec(pat)
-	rowSum := make([]float64, pat.N)
-	for i := 0; i < pat.N; i++ {
-		_, vals := rg.S.RowSlice(i)
-		smax := 0.0
-		for _, v := range vals {
-			if v > smax {
-				smax = v
-			}
-		}
-		if smax == 0 {
-			continue
-		}
-		lo, hi := pat.RowPtr[i], pat.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			w.Val[k] = math.Pow(rg.S.Val[k]/smax, opts.Alpha)
-			rowSum[i] += w.Val[k]
-		}
-	}
-
-	// M_t: Eq. 11. Rows with zero sum stay zero (isolated or zero-weight).
-	mt := matrix.NewPatVec(pat)
-	for i := 0; i < pat.N; i++ {
-		if rowSum[i] == 0 {
-			continue
-		}
-		for k := pat.RowPtr[i]; k < pat.RowPtr[i+1]; k++ {
-			mt.Val[k] = w.Val[k] / rowSum[i]
-		}
-	}
-
-	// M_b: Eq. 12. In RSS the bonus b ∈ (0,1) is redrawn at every step of
-	// every one of the M walks, so the per-walk boosted transition
-	// probability that the success frequency estimates is the expectation
-	// over b. The matrix analog is therefore E_b[p_b(i → j)], which we
-	// evaluate by midpoint quadrature: norm = rowSum_i − w(i,j) + (1+b)^α·
-	// w(i,j) per sample. (Sampling b once per entry instead would make
-	// weak-tied entries saturate at ≈1 whenever the single draw lands
-	// high — a false-positive generator RSS does not have.)
+	// their row sums, the transition matrix M_t of Eq. 11 (zero-sum rows
+	// stay zero: isolated or zero-weight), and the boosted first-step matrix
+	// M_b of Eq. 12, all in one parallel row pass — each row writes only its
+	// own slots of w/mt/mb and its own rowSum entry, so the fan-out is
+	// race-free and bit-identical for any worker count.
+	//
+	// On M_b: in RSS the bonus b ∈ (0,1) is redrawn at every step of every
+	// one of the M walks, so the per-walk boosted transition probability
+	// that the success frequency estimates is the expectation over b. The
+	// matrix analog is therefore E_b[p_b(i → j)], which we evaluate by
+	// midpoint quadrature: norm = rowSum_i − w(i,j) + (1+b)^α·w(i,j) per
+	// sample. (Sampling b once per entry instead would make weak-tied
+	// entries saturate at ≈1 whenever the single draw lands high — a
+	// false-positive generator RSS does not have.)
+	w := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+	rowSum := ar.getF64(pat.N)
+	mt := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 	mb := mt
+	const quadraturePoints = 8
+	var boost [quadraturePoints]float64
 	if !opts.DisableBonus {
-		mb = matrix.NewPatVec(pat)
-		const quadraturePoints = 8
-		boost := make([]float64, quadraturePoints)
+		mb = &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 		for q := range boost {
 			b := (float64(q) + 0.5) / quadraturePoints
 			boost[q] = math.Pow(1+b, opts.Alpha)
 		}
-		for i := 0; i < pat.N; i++ {
+	}
+	parallel.For(workers, pat.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// One poll per row bounds post-cancellation work to a row per
+			// worker; the torn matrices are discarded by RunFusion together
+			// with the checkpoint's error.
+			if opts.Check.Tick() != nil {
+				return
+			}
+			_, vals := rg.S.RowSlice(i)
+			smax := 0.0
+			for _, v := range vals {
+				if v > smax {
+					smax = v
+				}
+			}
+			if smax == 0 {
+				continue
+			}
+			klo, khi := pat.RowPtr[i], pat.RowPtr[i+1]
+			for k := klo; k < khi; k++ {
+				w.Val[k] = math.Pow(rg.S.Val[k]/smax, opts.Alpha)
+				rowSum[i] += w.Val[k]
+			}
 			if rowSum[i] == 0 {
 				continue
 			}
-			for k := pat.RowPtr[i]; k < pat.RowPtr[i+1]; k++ {
+			for k := klo; k < khi; k++ {
+				mt.Val[k] = w.Val[k] / rowSum[i]
+			}
+			if opts.DisableBonus {
+				continue
+			}
+			for k := klo; k < khi; k++ {
 				var sum float64
 				for _, bf := range boost {
 					boosted := bf * w.Val[k]
@@ -92,27 +114,55 @@ func CliqueRank(rg *RecordGraph, opts Options) []float64 {
 				mb.Val[k] = sum / quadraturePoints
 			}
 		}
-	}
+	})
 
 	if opts.DisableMask {
-		return cliqueRankUnmasked(rg, mt, mb, opts)
-	}
-	acc := mb.Clone()
-	a := mb
-	for step := 2; step <= opts.Steps; step++ {
-		// One poll per matrix power: each masked product is the expensive
-		// unit of work (Σ_i deg(i)² sparse dots), so a canceled run gives
-		// up at most one power of latency. The partial accumulator is
-		// discarded by RunFusion once it observes the checkpoint's error.
-		if opts.Check.Err() != nil {
-			break
+		cliqueRankUnmasked(rg, mt, mb, opts, p)
+	} else {
+		// Ping-pong the power chain through two scratch iterates (M_b and
+		// M_t stay read-only, so the DisableBonus aliasing mb == mt is
+		// safe). Per-slot accumulation is element-wise, hence order-free.
+		acc := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+		copy(acc.Val, mb.Val)
+		at := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+		cur := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+		next := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+		a := mb
+		var addSrc []float64
+		addIn := func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				acc.Val[k] += addSrc[k]
+			}
 		}
-		a = matrix.MaskedMul(mt, a.Transpose())
-		acc.AddScaled(a, 1)
+		for step := 2; step <= opts.Steps; step++ {
+			// One poll per matrix power: each masked product is the
+			// expensive unit of work (Σ_i deg(i)² sparse dots), so a
+			// canceled run gives up at most one power of latency.
+			if opts.Check.Err() != nil {
+				break
+			}
+			a.TransposeInto(at)
+			matrix.MaskedMulInto(next, mt, at, workers)
+			addSrc = next.Val
+			parallel.For(workers, nnz, addIn)
+			a = next
+			next, cur = cur, next
+		}
+		probsFromPatternInto(rg, p, workers, func(slotIJ, slotJI int32) float64 {
+			return (clamp01(acc.Val[slotIJ]) + clamp01(acc.Val[slotJI])) / 2
+		})
+		ar.putF64(acc.Val)
+		ar.putF64(at.Val)
+		ar.putF64(cur.Val)
+		ar.putF64(next.Val)
 	}
-	return probsFromPattern(rg, func(slotIJ, slotJI int32) float64 {
-		return (clamp01(acc.Val[slotIJ]) + clamp01(acc.Val[slotJI])) / 2
-	})
+
+	ar.putF64(w.Val)
+	ar.putF64(rowSum)
+	ar.putF64(mt.Val)
+	if mb != mt {
+		ar.putF64(mb.Val)
+	}
 }
 
 // clamp01 caps a per-direction step-sum at 1. Σ_k Mᵏ[i,j] approximates the
@@ -135,7 +185,7 @@ func clamp01(v float64) float64 {
 // cliqueRankUnmasked is the ablation path (DisableMask): the iterates are
 // not confined to the adjacency pattern, so the chain is computed with
 // dense products — the O(S·n³) formulation the paper starts from.
-func cliqueRankUnmasked(rg *RecordGraph, mt, mb *matrix.PatVec, opts Options) []float64 {
+func cliqueRankUnmasked(rg *RecordGraph, mt, mb *matrix.PatVec, opts Options, p []float64) {
 	mtD := mt.ToDense()
 	a := mb.ToDense()
 	acc := a.Clone()
@@ -146,7 +196,7 @@ func cliqueRankUnmasked(rg *RecordGraph, mt, mb *matrix.PatVec, opts Options) []
 		a = mtD.Mul(a)
 		acc = acc.Add(a)
 	}
-	return probsFromPattern(rg, func(slotIJ, slotJI int32) float64 {
+	probsFromPatternInto(rg, p, opts.Workers, func(slotIJ, slotJI int32) float64 {
 		i, j := slotCoords(rg, slotIJ)
 		return (clamp01(acc.At(i, j)) + clamp01(acc.At(j, i))) / 2
 	})
@@ -156,29 +206,29 @@ func cliqueRankUnmasked(rg *RecordGraph, mt, mb *matrix.PatVec, opts Options) []
 // of the two directed slots of each kept edge.
 func probsFromPattern(rg *RecordGraph, read func(slotIJ, slotJI int32) float64) []float64 {
 	p := make([]float64, len(rg.PairSlot))
-	for pid, slot := range rg.PairSlot {
-		if slot < 0 {
-			continue
-		}
-		i, j := slotCoords(rg, slot)
-		slotJI := int32(rg.Pattern.Slot(j, i))
-		p[pid] = read(slot, slotJI)
-	}
+	probsFromPatternInto(rg, p, 0, read)
 	return p
 }
 
-// slotCoords recovers the (row, col) coordinates of a directed slot.
-func slotCoords(rg *RecordGraph, slot int32) (int, int) {
-	pat := rg.Pattern
-	j := int(pat.Col[slot])
-	lo, hi := 0, pat.N
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if pat.RowPtr[mid+1] <= slot {
-			lo = mid + 1
-		} else {
-			hi = mid
+// probsFromPatternInto is the readout behind probsFromPattern: it zeroes p,
+// then fills the kept pairs from read, fanning out over workers. The
+// transposed slot comes from the pattern's precomputed permutation
+// (Pattern.TSlot), so the readout performs no per-pair search.
+func probsFromPatternInto(rg *RecordGraph, p []float64, workers int, read func(slotIJ, slotJI int32) float64) {
+	parallel.For(workers, len(rg.PairSlot), func(lo, hi int) {
+		for pid := lo; pid < hi; pid++ {
+			slot := rg.PairSlot[pid]
+			if slot < 0 {
+				p[pid] = 0
+				continue
+			}
+			p[pid] = read(slot, rg.Pattern.TSlot(slot))
 		}
-	}
-	return lo, j
+	})
+}
+
+// slotCoords recovers the (row, col) coordinates of a directed slot via the
+// record graph's precomputed slot→row index.
+func slotCoords(rg *RecordGraph, slot int32) (int, int) {
+	return int(rg.SlotRow[slot]), int(rg.Pattern.Col[slot])
 }

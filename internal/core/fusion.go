@@ -77,11 +77,18 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, 
 	if iters < 1 {
 		iters = 1
 	}
+	// The reinforcement loop reuses its working memory across rounds: the
+	// ITER scratch carries the x/s/raw vectors, the arena recycles the
+	// record-graph and CliqueRank buffers, and p is rewritten in place. Only
+	// the last round's buffers survive into the result, so the steady state
+	// of the loop allocates nothing but the per-round adjacency pattern.
+	sc := &iterScratch{}
+	ar := &arena{}
 	for it := 1; it <= iters; it++ {
 		if err := opts.Check.Err(); err != nil {
 			return nil, err
 		}
-		iterRes := RunITER(g, p, opts, rng)
+		iterRes := runITER(g, p, opts, rng, sc)
 		if err := opts.Check.Err(); err != nil {
 			return nil, err
 		}
@@ -92,11 +99,14 @@ func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, 
 		res.NumericRepairs += sanitizeNonNegative(res.X)
 		res.NumericRepairs += sanitizeNonNegative(res.S)
 
-		res.Graph = BuildRecordGraph(g, res.S, numRecords)
+		if res.Graph != nil {
+			res.Graph.release()
+		}
+		res.Graph = buildRecordGraph(g, res.S, numRecords, ar)
 		if opts.UseRSS {
-			p = RSS(res.Graph, opts)
+			RSSInto(res.Graph, opts, p)
 		} else {
-			p = CliqueRank(res.Graph, opts)
+			CliqueRankInto(res.Graph, opts, p)
 		}
 		if err := opts.Check.Err(); err != nil {
 			return nil, err

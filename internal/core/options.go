@@ -68,6 +68,13 @@ type Options struct {
 	// and er.Options.
 	Seed int64
 
+	// Workers bounds the goroutines the ITER, CliqueRank and RSS kernels fan
+	// out across. All parallel loops run through the deterministic chunked
+	// scheduler (internal/parallel), so every Workers setting — including 1 —
+	// produces bit-identical scores. The zero value (and any value below 1)
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+
 	// Check, when non-nil, is polled from the hot loops of ITER, CliqueRank
 	// and RSS. Once it reports cancellation, RunFusion abandons the
 	// remaining work and returns the checkpoint's error (for context-backed
@@ -78,6 +85,9 @@ type Options struct {
 	// the iteration number (1-based), the current pair similarities and
 	// matching probabilities, and the cumulative elapsed time. It powers
 	// the Table V harness without coupling core to the evaluation code.
+	// The s and p slices are scratch the fusion loop rewrites each round:
+	// they are valid only during the callback and must be copied to be
+	// retained.
 	Progress func(iteration int, s, p []float64, elapsed time.Duration)
 
 	// Clock supplies the timestamps behind FusionResult.Elapsed and the

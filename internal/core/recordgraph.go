@@ -18,6 +18,14 @@ type RecordGraph struct {
 	PairSlot []int32
 	// Edges lists the pair IDs that became edges, aligned with graph order.
 	Edges []int32
+	// SlotRow maps every directed slot to its row index, so the CliqueRank
+	// and RSS readouts recover slot coordinates in O(1) instead of a binary
+	// search over RowPtr per pair.
+	SlotRow []int32
+
+	// arena, when non-nil, recycles this graph's buffers (and CliqueRank's
+	// scratch) across fusion rounds; see release.
+	arena *arena
 }
 
 // BuildRecordGraph assembles G_r from the candidate set and per-pair
@@ -25,8 +33,12 @@ type RecordGraph struct {
 // ended with weight 0) are excluded: a zero-weight edge can never be chosen
 // by the walk and would only add zero rows to the transition matrix.
 func BuildRecordGraph(g *blocking.Graph, s []float64, numRecords int) *RecordGraph {
-	var edges []matrix.Edge
-	var kept []int32
+	return buildRecordGraph(g, s, numRecords, nil)
+}
+
+func buildRecordGraph(g *blocking.Graph, s []float64, numRecords int, ar *arena) *RecordGraph {
+	edges := ar.getEdges(g.NumPairs())
+	kept := ar.getI32(g.NumPairs())[:0]
 	for pid, p := range g.Pairs {
 		if s[pid] <= 0 {
 			continue
@@ -35,8 +47,9 @@ func BuildRecordGraph(g *blocking.Graph, s []float64, numRecords int) *RecordGra
 		kept = append(kept, int32(pid))
 	}
 	pat := matrix.NewPattern(numRecords, edges)
-	sv := matrix.NewPatVec(pat)
-	slot := make([]int32, g.NumPairs())
+	ar.putEdges(edges)
+	sv := &matrix.PatVec{P: pat, Val: ar.getF64(pat.NNZ())}
+	slot := ar.getI32(g.NumPairs())
 	for i := range slot {
 		slot[i] = -1
 	}
@@ -48,7 +61,30 @@ func BuildRecordGraph(g *blocking.Graph, s []float64, numRecords int) *RecordGra
 		sv.Val[b] = s[pid]
 		slot[pid] = int32(a)
 	}
-	return &RecordGraph{Pattern: pat, S: sv, PairSlot: slot, Edges: kept}
+	slotRow := ar.getI32(pat.NNZ())
+	//lint:ignore guardloop output-sized fill of the slot→row index; the surrounding fusion round polls between kernels
+	for i := 0; i < pat.N; i++ {
+		row := slotRow[pat.RowPtr[i]:pat.RowPtr[i+1]]
+		for k := range row {
+			row[k] = int32(i)
+		}
+	}
+	return &RecordGraph{Pattern: pat, S: sv, PairSlot: slot, Edges: kept, SlotRow: slotRow, arena: ar}
+}
+
+// release returns the graph's recyclable buffers to its arena ahead of the
+// next fusion round. The graph must not be used afterwards; calling release
+// on an arena-less graph is a no-op.
+func (rg *RecordGraph) release() {
+	ar := rg.arena
+	if ar == nil {
+		return
+	}
+	ar.putF64(rg.S.Val)
+	ar.putI32(rg.PairSlot)
+	ar.putI32(rg.Edges)
+	ar.putI32(rg.SlotRow)
+	rg.S, rg.PairSlot, rg.Edges, rg.SlotRow, rg.arena = nil, nil, nil, nil, nil
 }
 
 // NumNodes returns the record count (Table III "number of nodes in G_r").

@@ -4,7 +4,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // RSS implements Algorithm 2, the Random-Surfer Sampling estimator of the
@@ -21,8 +21,18 @@ import (
 // results are deterministic and independent of the parallel schedule.
 func RSS(rg *RecordGraph, opts Options) []float64 {
 	p := make([]float64, len(rg.PairSlot))
-	sampleEdges(rg, opts, rg.Edges, p)
+	RSSInto(rg, opts, p)
 	return p
+}
+
+// RSSInto writes the RSS estimates into p (length len(rg.PairSlot)),
+// overwriting every element. Edges fan out over opts.Workers goroutines;
+// per-edge seeding keeps the estimates bit-identical for any worker count.
+func RSSInto(rg *RecordGraph, opts Options, p []float64) {
+	for k := range p {
+		p[k] = 0
+	}
+	sampleEdges(rg, opts, rg.Edges, p)
 }
 
 // RSSOnEdges estimates matching probabilities only for the given subset of
@@ -47,7 +57,12 @@ func sampleEdges(rg *RecordGraph, opts Options, pairIDs []int32, out []float64) 
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	matrix.ParallelRange(len(pairIDs), func(lo, hi int) {
+	parallel.For(opts.Workers, len(pairIDs), func(lo, hi int) {
+		// One probability scratch per chunk, grown to the largest degree
+		// the chunk's walks visit: Algorithm 3 needs a per-step transition
+		// distribution, and reusing the buffer keeps the sampler free of
+		// per-step allocation.
+		var probs []float64
 		for k := lo; k < hi; k++ {
 			// Each edge costs M walks of up to S steps; polling per edge
 			// bounds post-cancellation work to one edge per worker. The
@@ -65,10 +80,10 @@ func sampleEdges(rg *RecordGraph, opts Options, pairIDs []int32, out []float64) 
 			rng := rand.New(rand.NewSource(opts.Seed ^ (int64(pid)+1)*0x5851f42d4c957f2d))
 			c := 0
 			for w := 0; w < m/2; w++ {
-				c += randomWalk(rg, i, j, opts, rng)
+				c += randomWalk(rg, i, j, opts, rng, &probs)
 			}
 			for w := 0; w < m-m/2; w++ {
-				c += randomWalk(rg, j, i, opts, rng)
+				c += randomWalk(rg, j, i, opts, rng, &probs)
 			}
 			out[pid] = float64(c) / float64(m)
 		}
@@ -76,29 +91,19 @@ func sampleEdges(rg *RecordGraph, opts Options, pairIDs []int32, out []float64) 
 }
 
 // endpointsOf recovers the two records of a candidate pair from the slot of
-// its directed (I → J) entry.
+// its directed (I → J) entry, using the record graph's O(1) slot→row index.
 func endpointsOf(rg *RecordGraph, pid int32) (int, int) {
 	slot := rg.PairSlot[pid]
-	j := int(rg.Pattern.Col[slot])
-	// Row index: binary search over RowPtr for the row containing slot.
-	lo, hi := 0, rg.Pattern.N
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if rg.Pattern.RowPtr[mid+1] <= slot {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, j
+	return int(rg.SlotRow[slot]), int(rg.Pattern.Col[slot])
 }
 
 // randomWalk is Algorithm 3: a rectified random walk from start that
 // returns 1 when it reaches target within opts.Steps steps. Transition
 // probabilities are the non-linear transform of Eq. 11 with the per-step
 // target bonus of Eq. 12; stepping to a node that is not a neighbor of the
-// target aborts the walk (early stop, lines 8–9).
-func randomWalk(rg *RecordGraph, start, target int, opts Options, rng *rand.Rand) int {
+// target aborts the walk (early stop, lines 8–9). scratch is the caller's
+// reusable transition-distribution buffer.
+func randomWalk(rg *RecordGraph, start, target int, opts Options, rng *rand.Rand, scratch *[]float64) int {
 	cur := start
 	for s := 0; s < opts.Steps; s++ {
 		// A canceled walk reports "target not reached": RSS's caller polls
@@ -130,8 +135,11 @@ func randomWalk(rg *RecordGraph, start, target int, opts Options, rng *rand.Rand
 		if smax == 0 {
 			return 0
 		}
+		if cap(*scratch) < len(nbrs) {
+			*scratch = make([]float64, len(nbrs))
+		}
+		probs := (*scratch)[:len(nbrs)]
 		var total float64
-		probs := make([]float64, len(nbrs))
 		for k, w := range weights {
 			if int(nbrs[k]) == target {
 				w *= bonus

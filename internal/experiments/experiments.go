@@ -37,6 +37,10 @@ type Config struct {
 	// Options are the pipeline parameters; zero value means
 	// er.DefaultOptions.
 	Options *er.Options
+	// Workers bounds the kernel goroutines per pipeline run (0 =
+	// GOMAXPROCS). Ignored when Options is set — explicit Options carry
+	// their own Workers field.
+	Workers int
 }
 
 // DefaultConfig runs at paper scale with the universal parameters.
@@ -48,6 +52,7 @@ func (c Config) options() er.Options {
 	}
 	o := er.DefaultOptions()
 	o.Seed = c.Seed
+	o.Workers = c.Workers
 	return o
 }
 

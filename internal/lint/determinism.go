@@ -11,9 +11,10 @@ import (
 // results there, because the unsupervised fixed points have no labels to
 // reveal a run that silently diverged.
 var determinismCallPackages = map[string]bool{
-	"repro/internal/core":   true,
-	"repro/internal/matrix": true,
-	"repro/internal/graph":  true,
+	"repro/internal/core":     true,
+	"repro/internal/matrix":   true,
+	"repro/internal/graph":    true,
+	"repro/internal/parallel": true,
 	// The serve daemon is not a kernel, but its breaker transitions and
 	// latency accounting must be reproducible under a fake clock in tests,
 	// so it takes the same discipline: all time flows through an injected
@@ -31,6 +32,7 @@ var determinismMapPackages = map[string]bool{
 	"repro/internal/matrix":   true,
 	"repro/internal/graph":    true,
 	"repro/internal/blocking": true,
+	"repro/internal/parallel": true,
 	// serve's /stats output lists breaker classes built from a map; the
 	// wire format must not leak map iteration order.
 	"repro/internal/serve": true,

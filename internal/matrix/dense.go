@@ -76,7 +76,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(m.Rows, b.Cols)
-	parallelRows(m.Rows, func(lo, hi int) {
+	parallelRows(0, m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := m.Row(i)
 			crow := out.Row(i)
@@ -148,7 +148,7 @@ func (m *Dense) MulVec(x []float64) []float64 {
 		panic("matrix: MulVec dimension mismatch")
 	}
 	out := make([]float64, m.Rows)
-	parallelRows(m.Rows, func(lo, hi int) {
+	parallelRows(0, m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Row(i)
 			var s float64

@@ -1,38 +1,20 @@
 package matrix
 
 import (
-	"runtime"
-	"sync"
+	"repro/internal/parallel"
 )
 
-// parallelRows splits the half-open row range [0, n) into contiguous chunks
-// and runs fn on each chunk from its own goroutine. On a single-core machine
-// it degrades to a plain call with no goroutine overhead.
-func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// parallelRows fans fn out over the half-open row range [0, n) through the
+// repository's single deterministic scheduler (internal/parallel): fixed
+// Grain-sized chunks independent of GOMAXPROCS, so the row kernels here —
+// which write disjoint per-row output — are bit-identical serial vs.
+// parallel. Inputs below one chunk run on the calling goroutine with no
+// goroutine overhead; workers < 1 selects GOMAXPROCS.
+func parallelRows(workers, n int, fn func(lo, hi int)) {
+	parallel.For(workers, n, fn)
 }
 
 // ParallelRange exposes the chunked scheduler for other packages that need
-// to fan work out across index ranges (e.g. RSS edge sampling).
-func ParallelRange(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
+// to fan work out across index ranges, using GOMAXPROCS workers. Callers
+// with a Workers knob should use internal/parallel directly.
+func ParallelRange(n int, fn func(lo, hi int)) { parallel.For(0, n, fn) }

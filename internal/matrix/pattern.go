@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -58,7 +59,7 @@ func NewPattern(n int, edges []Edge) *Pattern {
 	for i := 0; i < n; i++ {
 		lo, hi := p.RowPtr[i], p.RowPtr[i+1]
 		row := p.Col[lo:hi]
-		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		slices.Sort(row)
 		for k := 1; k < len(row); k++ {
 			if row[k] == row[k-1] {
 				//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
@@ -99,6 +100,11 @@ func (p *Pattern) Slot(i, j int) int {
 // Has reports whether nodes i and j are adjacent.
 func (p *Pattern) Has(i, j int) bool { return p.Slot(i, j) >= 0 }
 
+// TSlot returns the slot of the transposed entry (j, i) given the slot of
+// (i, j) — an O(1) lookup of the precomputed transpose permutation, versus
+// the O(log deg) binary search of Slot.
+func (p *Pattern) TSlot(k int32) int32 { return p.tIdx[k] }
+
 // PatVec is a matrix whose support is exactly a Pattern: Val[k] is the value
 // of the directed entry whose coordinates slot k encodes.
 type PatVec struct {
@@ -119,10 +125,20 @@ func (v *PatVec) Clone() *PatVec {
 // Transpose permutes values so that out[(i,j)] = v[(j,i)].
 func (v *PatVec) Transpose() *PatVec {
 	out := NewPatVec(v.P)
+	v.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes vᵀ into out, which must share v's pattern. It is the
+// allocation-free form of Transpose used by the CliqueRank power loop.
+func (v *PatVec) TransposeInto(out *PatVec) {
+	if v.P != out.P {
+		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
+		panic("matrix: TransposeInto requires operands on the same pattern")
+	}
 	for k, t := range v.P.tIdx {
 		out.Val[k] = v.Val[t]
 	}
-	return out
 }
 
 // RowSlice returns the neighbor columns and values of row i.
@@ -159,26 +175,37 @@ func (v *PatVec) ToDense() *Dense {
 // dot product of row i of mt with row j of at (= column j of a), an
 // O(deg(i)+deg(j)) merge.
 func MaskedMul(mt, at *PatVec) *PatVec {
-	if mt.P != at.P {
+	return MaskedMulInto(NewPatVec(mt.P), mt, at, 0)
+}
+
+// MaskedMulInto is the buffer-reusing, worker-aware form of MaskedMul: it
+// writes (mt × a) ⊙ pattern into dst (which must share the operands'
+// pattern) and returns dst. Rows are fanned out through the deterministic
+// scheduler, and each row writes a disjoint slice of dst.Val, so the result
+// is bit-identical for every worker count. workers < 1 selects GOMAXPROCS.
+func MaskedMulInto(dst, mt, at *PatVec, workers int) *PatVec {
+	if mt.P != at.P || dst.P != mt.P {
 		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
 		panic("matrix: MaskedMul requires operands on the same pattern")
 	}
 	p := mt.P
-	out := NewPatVec(p)
-	parallelRows(p.N, func(lo, hi int) {
+	parallelRows(workers, p.N, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mtCols, mtVals := mt.RowSlice(i)
 			if len(mtCols) == 0 {
+				for s := p.RowPtr[i]; s < p.RowPtr[i+1]; s++ {
+					dst.Val[s] = 0
+				}
 				continue
 			}
 			for s := p.RowPtr[i]; s < p.RowPtr[i+1]; s++ {
 				j := p.Col[s]
 				atCols, atVals := at.RowSlice(int(j))
-				out.Val[s] = sparseDot(mtCols, mtVals, atCols, atVals)
+				dst.Val[s] = sparseDot(mtCols, mtVals, atCols, atVals)
 			}
 		}
 	})
-	return out
+	return dst
 }
 
 // AddScaled accumulates v += s·w in place.

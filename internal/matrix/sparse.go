@@ -107,7 +107,7 @@ func (m *CSR) MulVec(x []float64) []float64 {
 		panic("matrix: CSR MulVec dimension mismatch")
 	}
 	out := make([]float64, m.Rows)
-	parallelRows(m.Rows, func(lo, hi int) {
+	parallelRows(0, m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cols, vals := m.RowSlice(i)
 			var s float64

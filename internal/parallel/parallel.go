@@ -1,0 +1,175 @@
+// Package parallel is the repository's single deterministic chunked
+// scheduler. Every data-parallel loop of the resolution pipeline — ITER's
+// bipartite sweeps, CliqueRank's masked matrix powers, RSS edge sampling,
+// the dense and sparse matrix kernels — fans out through this package, so
+// there is exactly one place where the determinism argument has to hold:
+//
+//   - The index range [0, n) is split into fixed-size chunks of Grain
+//     elements. Chunk boundaries depend only on n and the grain — never on
+//     the worker count or GOMAXPROCS — so the set of fn(lo, hi) calls is
+//     identical for every Workers setting.
+//   - Workers race only for *which* chunk to run next (one atomic add), not
+//     for how a chunk is computed. A kernel whose chunks write disjoint
+//     state (out[lo:hi], a per-row slice) is therefore bit-identical serial
+//     vs. parallel.
+//   - Reductions never accumulate across goroutines: each chunk produces a
+//     partial into its own slot and the partials are folded in ascending
+//     chunk order after the barrier (ReduceSum), so floating-point rounding
+//     is schedule-independent too.
+//
+// The erlint determinism analyzer includes this package in its kernel
+// scope: no ambient time, environment, or process-seeded randomness.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Grain is the fixed chunk size, in elements (or rows), of every scheduled
+// loop. It is deliberately a package constant rather than a knob: changing
+// it changes the bracketing of chunked reductions, which would silently
+// shift bit-identical results between versions. 256 elements amortize one
+// goroutine handoff and one guard poll over enough work that even the
+// cheapest per-element kernels (an add and a multiply) win from fanning
+// out, while a sub-256 input stays on the caller's goroutine with no
+// scheduling overhead at all.
+const Grain = 256
+
+// Workers resolves a worker-count knob: values below 1 (the zero value of
+// the Workers options fields) select runtime.GOMAXPROCS(0), anything else
+// is taken literally. The result is how many goroutines For may use, not a
+// promise — small inputs use fewer.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// chunks returns the number of Grain-sized chunks covering [0, n).
+func chunks(n int) int { return (n + Grain - 1) / Grain }
+
+// For runs fn over [0, n) in fixed Grain-sized chunks using at most workers
+// goroutines (workers < 1 selects GOMAXPROCS). fn is invoked once per chunk
+// with a half-open range [lo, hi); the same chunk set is produced for every
+// worker count, so kernels whose chunks touch disjoint state are
+// bit-identical serial vs. parallel. When the input fits one chunk, or only
+// one worker is available, fn runs on the calling goroutine with no
+// goroutine or synchronization overhead.
+func For(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nc := chunks(n)
+	w := Workers(workers)
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += Grain {
+			hi := lo + Grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo := c * Grain
+				hi := lo + Grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// partials recycles the per-chunk accumulator slices of ReduceSum so a
+// steady-state reduction performs no allocation.
+var partials = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
+
+// ReduceSum computes an order-stable parallel sum: fn returns the partial
+// for chunk [lo, hi), each partial lands in the slot of its chunk index,
+// and the partials are folded in ascending chunk order. The bracketing —
+// (((p0+p1)+p2)+…) over Grain-sized chunk sums — is therefore a pure
+// function of n, independent of the worker count and the goroutine
+// schedule, so serial and parallel runs agree to the last bit.
+func ReduceSum(workers, n int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nc := chunks(n)
+	if nc == 1 || Workers(workers) == 1 {
+		// Same chunking, same fold order, no goroutines: sum += p_c in
+		// ascending c is exactly the parallel path's bracketing.
+		var sum float64
+		for lo := 0; lo < n; lo += Grain {
+			hi := lo + Grain
+			if hi > n {
+				hi = n
+			}
+			sum += fn(lo, hi)
+		}
+		return sum
+	}
+	bp := partials.Get().(*[]float64)
+	parts := *bp
+	if cap(parts) < nc {
+		parts = make([]float64, nc)
+	}
+	parts = parts[:nc]
+	For(workers, n, func(lo, hi int) {
+		parts[lo/Grain] = fn(lo, hi)
+	})
+	var sum float64
+	for _, v := range parts {
+		sum += v
+	}
+	*bp = parts[:0]
+	partials.Put(bp)
+	return sum
+}
+
+// Pool recycles float64 scratch buffers across rounds of an iterative
+// kernel. Get returns a buffer with at least n capacity, length n, contents
+// unspecified; Put recycles it. The zero value is ready to use. Pool is
+// safe for concurrent use.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a length-n buffer (contents unspecified).
+func (p *Pool) Get(n int) []float64 {
+	if v := p.p.Get(); v != nil {
+		b := *(v.(*[]float64))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// Put recycles a buffer obtained from Get.
+func (p *Pool) Put(b []float64) {
+	if b == nil {
+		return
+	}
+	b = b[:0]
+	p.p.Put(&b)
+}

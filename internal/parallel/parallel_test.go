@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+// TestForCoversAllOnce asserts every index in [0, n) is visited exactly once
+// for sizes around the chunk-grain boundaries and several worker counts.
+func TestForCoversAllOnce(t *testing.T) {
+	for _, n := range []int{0, 1, Grain - 1, Grain, Grain + 1, 3*Grain + 17, 10 * Grain} {
+		for _, w := range []int{0, 1, 2, 3, 16} {
+			visits := make([]int32, n)
+			var mu sync.Mutex
+			For(w, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d w=%d: bad chunk [%d,%d)", n, w, lo, hi)
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					visits[i]++
+				}
+				mu.Unlock()
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksAreFixed asserts chunk boundaries are a pure function of n:
+// the same [lo, hi) set regardless of worker count.
+func TestForChunksAreFixed(t *testing.T) {
+	n := 5*Grain + 3
+	ranges := func(w int) map[[2]int]bool {
+		var mu sync.Mutex
+		set := make(map[[2]int]bool)
+		For(w, n, func(lo, hi int) {
+			mu.Lock()
+			set[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return set
+	}
+	serial := ranges(1)
+	for _, w := range []int{2, 4, 9} {
+		got := ranges(w)
+		if len(got) != len(serial) {
+			t.Fatalf("w=%d: %d chunks, serial has %d", w, len(got), len(serial))
+		}
+		for r := range serial {
+			if !got[r] {
+				t.Fatalf("w=%d: missing chunk %v", w, r)
+			}
+		}
+	}
+}
+
+// TestReduceSumBitIdentical asserts the reduction produces the exact same
+// float64 bits for every worker count, on inputs adversarial to naive
+// reassociation (alternating magnitudes).
+func TestReduceSumBitIdentical(t *testing.T) {
+	n := 7*Grain + 41
+	vals := make([]float64, n)
+	for i := range vals {
+		// Mix of huge and tiny terms so any reassociation shows up in the
+		// low bits of the sum.
+		if i%2 == 0 {
+			vals[i] = 1e16 / float64(i+1)
+		} else {
+			vals[i] = 1e-16 * float64(i)
+		}
+	}
+	sum := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	want := ReduceSum(1, n, sum)
+	for _, w := range []int{0, 2, 3, 8} {
+		for rep := 0; rep < 10; rep++ {
+			if got := ReduceSum(w, n, sum); got != want {
+				t.Fatalf("workers=%d rep=%d: sum %v != serial %v", w, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceSumEmpty(t *testing.T) {
+	if got := ReduceSum(4, 0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("empty reduction = %v, want 0", got)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	var p Pool
+	b := p.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("Get(100) len = %d", len(b))
+	}
+	b[0] = 42
+	p.Put(b)
+	c := p.Get(50)
+	if len(c) != 50 {
+		t.Fatalf("Get(50) len = %d", len(c))
+	}
+	p.Put(nil) // must not panic
+	d := p.Get(200)
+	if len(d) != 200 {
+		t.Fatalf("Get(200) len = %d", len(d))
+	}
+}

@@ -55,6 +55,10 @@ type jobOptions struct {
 	MaxCandidatePairs *int     `json:"max_pairs"`
 	MaxWallClockMs    *int64   `json:"max_wall_clock_ms"`
 	Seed              *int64   `json:"seed"`
+	// Workers requests a kernel-goroutine budget for the job; the server
+	// clamps it to Options.WorkersPerJob before running. Results are
+	// bit-identical for every value, so this only trades latency for CPU.
+	Workers *int `json:"workers"`
 }
 
 // apply overlays the wire overrides on a base Options.
@@ -88,6 +92,9 @@ func (jo *jobOptions) apply(o er.Options) er.Options {
 	}
 	if jo.Seed != nil {
 		o.Seed = *jo.Seed
+	}
+	if jo.Workers != nil {
+		o.Workers = *jo.Workers
 	}
 	return o
 }

@@ -12,6 +12,7 @@ package serve
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	er "repro"
@@ -59,6 +60,12 @@ type Options struct {
 	// MaxConcurrency is the number of jobs resolved in parallel (the worker
 	// pool size). Zero selects DefaultMaxConcurrency.
 	MaxConcurrency int
+	// WorkersPerJob is each job's kernel-goroutine budget (er.Options.
+	// Workers): the ceiling applied to whatever the client requests, and
+	// the value used when the client requests nothing. Zero derives the
+	// budget from the machine: GOMAXPROCS / MaxConcurrency, floored at 1,
+	// so a fully loaded worker pool does not oversubscribe the CPUs.
+	WorkersPerJob int
 	// QueueDepth bounds the jobs admitted but not yet running. A full queue
 	// fast-fails new work with 429. Zero selects DefaultQueueDepth.
 	QueueDepth int
@@ -106,6 +113,12 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxConcurrency <= 0 {
 		o.MaxConcurrency = DefaultMaxConcurrency
+	}
+	if o.WorkersPerJob <= 0 {
+		o.WorkersPerJob = runtime.GOMAXPROCS(0) / o.MaxConcurrency
+		if o.WorkersPerJob < 1 {
+			o.WorkersPerJob = 1
+		}
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = DefaultQueueDepth

@@ -205,6 +205,13 @@ func (s *Server) runJob(j *job) {
 
 	j.setState(JobRunning)
 	s.c.running.Add(1)
+	// Per-job worker budget: a client request below the budget is honored
+	// (results are worker-count-invariant), anything else — including the
+	// "use the machine" zero — is clamped to WorkersPerJob so a full worker
+	// pool cannot oversubscribe the CPUs.
+	if j.opts.Workers <= 0 || j.opts.Workers > s.opts.WorkersPerJob {
+		j.opts.Workers = s.opts.WorkersPerJob
+	}
 	var res *er.Result
 	var err error
 	func() {

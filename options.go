@@ -73,6 +73,14 @@ type Options struct {
 	// so runs configured with the zero value are reproducible by default.
 	Seed int64
 
+	// Workers bounds the goroutines the fusion kernels (ITER, CliqueRank,
+	// RSS) fan out across. Results are bit-identical for every setting —
+	// the kernels run through a deterministic chunked scheduler — so this
+	// knob trades only wall-clock time against CPU. Zero selects
+	// runtime.GOMAXPROCS(0); Validate rejects negative values and
+	// NewPipeline normalizes them to zero.
+	Workers int
+
 	// MaxCandidatePairs caps the number of candidate pairs blocking may
 	// hand to the quadratic-and-worse downstream stages; 0 disables the
 	// cap. When natural blocking exceeds it, the pipeline degrades
@@ -134,6 +142,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: MaxCandidatePairs must be >= 0, got %d", ErrInvalidOptions, o.MaxCandidatePairs)
 	case o.MaxWallClock < 0:
 		return fmt.Errorf("%w: MaxWallClock must be >= 0, got %s", ErrInvalidOptions, o.MaxWallClock)
+	case o.Workers < 0:
+		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrInvalidOptions, o.Workers)
 	}
 	return nil
 }
@@ -172,6 +182,9 @@ func (o Options) normalized() Options {
 	if o.MaxWallClock < 0 {
 		o.MaxWallClock = 0
 	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
 	return o
 }
 
@@ -187,6 +200,7 @@ func (o Options) coreOptions() core.Options {
 		c.Normalization = core.NormL2
 	}
 	c.Seed = o.Seed
+	c.Workers = o.Workers
 	c.Progress = o.Progress
 	return c
 }

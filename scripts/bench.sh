@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate the benchmark-regression baseline BENCH_core.json.
+#
+# Runs the core kernel benchmarks (ITER / CliqueRank / fusion, including the
+# Product-scale workers={1,2,4} fan-out matrix), pipes the output through
+# cmd/erbenchjson, and writes BENCH_core.json at the repo root: ns/op,
+# B/op, allocs/op per kernel and worker count, each fan-out's speedup
+# against the same run's workers=1, and the serial speedup against the
+# committed pre-optimization seed in results/bench_baseline_seed.txt.
+#
+#   scripts/bench.sh            # full run (benchtime 2s; minutes)
+#   scripts/bench.sh -quick     # CI smoke: benchtime 50ms, timing is noise,
+#                               # but the file shape and the alloc counts
+#                               # (benchtime-independent) stay meaningful
+#
+# The raw `go test -bench` output is preserved in results/bench_latest.txt
+# so a surprising JSON number can be traced to its source line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime=2s
+if [ "${1:-}" = "-quick" ]; then
+    benchtime=50ms
+fi
+
+mkdir -p results
+echo "==> go test -bench (benchtime $benchtime)" >&2
+go test ./internal/core/ -run xxx -bench 'ITER|CliqueRank|Fusion' \
+    -benchmem -benchtime "$benchtime" -timeout 30m | tee results/bench_latest.txt
+
+echo "==> erbenchjson -> BENCH_core.json" >&2
+go run ./cmd/erbenchjson -baseline results/bench_baseline_seed.txt \
+    < results/bench_latest.txt > BENCH_core.json
+
+echo "wrote BENCH_core.json" >&2

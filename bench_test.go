@@ -12,8 +12,8 @@ package er_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -40,6 +40,16 @@ func mustPipeline(b *testing.B, cfg experiments.Config, name experiments.Dataset
 		b.Fatal(err)
 	}
 	return p
+}
+
+// mustBench prepares the engine-backed harness for the named replica.
+func mustBench(b *testing.B, cfg experiments.Config, name experiments.DatasetName) *experiments.Bench {
+	b.Helper()
+	bench, err := cfg.Bench(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bench
 }
 
 // BenchmarkTable2 regenerates the Table II F1 comparison (all implemented
@@ -186,23 +196,18 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 }
 
-// benchAblation runs the fusion loop on the Product replica with modified
-// core options and reports the F1.
+// benchAblation runs the fusion stages on the Product replica with
+// modified core options and reports the F1.
 func benchAblation(b *testing.B, modify func(*core.Options)) {
 	cfg := benchConfig()
-	p := mustPipeline(b, cfg, experiments.Product)
-	_, g := p.Internals()
+	bench := mustBench(b, cfg, experiments.Product)
 	var f1 float64
 	for i := 0; i < b.N; i++ {
-		opts := p.CoreOptions()
-		if modify != nil {
-			modify(&opts)
-		}
-		res, err := core.RunFusion(g, g.NumRecords, opts)
+		res, _, err := bench.Fusion(modify)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if m, ok := p.EvaluateMatches(res.Matches); ok {
+		if m, ok := bench.EvaluateMatches(res.Matches); ok {
 			f1 = m.F1
 		}
 	}
@@ -222,18 +227,15 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // one runs there.
 func BenchmarkAblationBonus(b *testing.B) {
 	cfg := benchConfig()
-	p := mustPipeline(b, cfg, experiments.Paper)
-	_, g := p.Internals()
+	bench := mustBench(b, cfg, experiments.Paper)
 	run := func(b *testing.B, disable bool) {
 		var f1 float64
 		for i := 0; i < b.N; i++ {
-			opts := p.CoreOptions()
-			opts.DisableBonus = disable
-			res, err := core.RunFusion(g, g.NumRecords, opts)
+			res, _, err := bench.Fusion(func(o *core.Options) { o.DisableBonus = disable })
 			if err != nil {
 				b.Fatal(err)
 			}
-			if m, ok := p.EvaluateMatches(res.Matches); ok {
+			if m, ok := bench.EvaluateMatches(res.Matches); ok {
 				f1 = m.F1
 			}
 		}
@@ -263,11 +265,15 @@ func BenchmarkAblationDenominator(b *testing.B) {
 func BenchmarkCliqueRankVsRSS(b *testing.B) {
 	cfg := benchConfig()
 	for _, name := range experiments.AllDatasets {
-		p := mustPipeline(b, cfg, name)
-		_, g := p.Internals()
-		opts := p.CoreOptions()
-		iter := core.RunITER(g, ones(g.NumPairs()), opts, newRand(opts.Seed))
-		rg := core.BuildRecordGraph(g, iter.S, g.NumRecords)
+		bench := mustBench(b, cfg, name)
+		opts := bench.CoreOptions()
+		// One fusion round yields the first-round record graph (ITER on the
+		// all-ones prior), the same graph the hand-rolled loop built here.
+		fres, _, err := bench.Fusion(func(o *core.Options) { o.FusionIterations = 1 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg := fres.Graph
 		b.Run("CliqueRank/"+string(name), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.CliqueRank(rg, opts)
@@ -302,12 +308,30 @@ func BenchmarkResolveEndToEnd(b *testing.B) {
 	}
 }
 
-func ones(n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = 1
+// BenchmarkResolveStages measures the full pipeline per replica and
+// reports each stage's wall time from the engine trace as a stage-*-ms
+// metric; cmd/erbenchjson folds these into BENCH_core.json.
+func BenchmarkResolveStages(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		gen  func(er.ReplicaConfig) *er.Dataset
+	}{
+		{"Restaurant", er.RestaurantReplica},
+		{"Product", er.ProductReplica},
+		{"Paper", er.PaperReplica},
+	} {
+		d := tc.gen(er.ReplicaConfig{Seed: 1, Scale: benchScale})
+		b.Run(tc.name, func(b *testing.B) {
+			var res *er.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = er.Resolve(d, er.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, st := range res.Trace {
+				b.ReportMetric(float64(st.Wall)/float64(time.Millisecond), "stage-"+st.Stage+"-ms")
+			}
+		})
 	}
-	return out
 }
-
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

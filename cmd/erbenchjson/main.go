@@ -9,9 +9,12 @@
 // It reads benchmark lines from stdin, groups the workers=N sub-benchmarks
 // of each kernel, computes each fan-out's speedup against the same binary's
 // workers=1 run, and — when -baseline points at a committed seed
-// measurement — the serial speedup against the pre-optimization code. The
-// JSON is the trajectory future PRs regress against: scripts/bench.sh
-// regenerates it and CI uploads it as an artifact.
+// measurement — the serial speedup against the pre-optimization code.
+// Custom `<value> stage-<name>-ms` metrics (emitted by the root package's
+// BenchmarkResolveStages from the engine's stage trace) are folded into
+// each sample's stage_ms map, giving the baseline a per-stage wall-clock
+// breakdown. The JSON is the trajectory future PRs regress against:
+// scripts/bench.sh regenerates it and CI uploads it as an artifact.
 package main
 
 import (
@@ -30,6 +33,10 @@ import (
 // a trailing `/workers=N` path segment becomes the fan-out dimension.
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
+// stageMetric matches the custom `<value> stage-<name>-ms` metrics the
+// root BenchmarkResolveStages emits from the engine's stage trace.
+var stageMetric = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) stage-([a-z]+)-ms`)
+
 type sample struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"bytes_op,omitempty"`
@@ -37,6 +44,9 @@ type sample struct {
 	// SpeedupVs1Worker is ns/op(workers=1) / ns/op(this), from the same
 	// binary and run.
 	SpeedupVs1Worker float64 `json:"speedup_vs_1_worker,omitempty"`
+	// StageMs maps pipeline stage names to their wall-clock milliseconds,
+	// from the stage-<name>-ms metrics of BenchmarkResolveStages.
+	StageMs map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 type kernel struct {
@@ -84,6 +94,16 @@ func parse(lines *bufio.Scanner, rep *report) error {
 		if m[3] != "" {
 			s.BytesOp, _ = strconv.ParseFloat(m[3], 64)
 			s.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		for _, sm := range stageMetric.FindAllStringSubmatch(line, -1) {
+			v, err := strconv.ParseFloat(sm[1], 64)
+			if err != nil {
+				continue
+			}
+			if s.StageMs == nil {
+				s.StageMs = map[string]float64{}
+			}
+			s.StageMs[sm[2]] = v
 		}
 		k.Workers[workers] = s
 	}

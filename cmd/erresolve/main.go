@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	erresolve [-eta 0.98] [-iterations 5] [-rss] [-max-pairs N] [-timeout 30s] [-v] file.csv
+//	erresolve [-eta 0.98] [-iterations 5] [-rss] [-max-pairs N] [-timeout 30s] [-trace] [-v] file.csv
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro"
@@ -50,6 +51,17 @@ func assemble(d *er.Dataset, pipe *er.Pipeline, out *er.FusionOutcome) *er.Resul
 	return res
 }
 
+// indent prefixes every line of a rendered trace for the stderr report.
+func indent(s string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		sb.WriteString("  ")
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // fail prints a readable, taxonomy-aware message and exits non-zero.
 func fail(err error) {
 	switch {
@@ -79,6 +91,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
 	workers := flag.Int("workers", 0, "kernel goroutines (0 = GOMAXPROCS); results are identical for every value")
 	verbose := flag.Bool("v", false, "print every matched pair with its record texts")
+	trace := flag.Bool("trace", false, "print per-stage timings (wall, sizes, rounds) to stderr")
 	explain := flag.Bool("explain", false, "print the shared-term evidence behind each matched pair")
 	maxClusters := flag.Int("clusters", 10, "number of largest clusters to print")
 	flag.Parse()
@@ -124,6 +137,9 @@ func main() {
 		fail(err)
 	}
 	res := assemble(d, pipe, out)
+	if *trace {
+		fmt.Fprint(os.Stderr, "stage trace:\n"+indent(pipe.Trace().String()+out.Trace.String()))
+	}
 
 	fmt.Printf("%s: %d records, %d sources, record graph %d nodes / %d edges\n",
 		d.Name(), d.NumRecords(), d.NumSources(), res.GraphNodes, res.GraphEdges)

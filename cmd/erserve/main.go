@@ -44,15 +44,16 @@ func main() {
 		cooldown    = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "initial breaker open interval (doubles per re-trip)")
 		quiet       = flag.Bool("quiet", false, "suppress per-job lifecycle logs")
 		workers     = flag.Int("workers-per-job", 0, "kernel-goroutine budget per job (0 = GOMAXPROCS/concurrency, min 1)")
+		snapshots   = flag.Int("snapshot-cache", 0, "snapshots shared across jobs on the same dataset (0 = default, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet, *workers), *drainBudget); err != nil {
+	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet, *workers, *snapshots), *drainBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}
 }
 
-func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool, workersPerJob int) serve.Options {
+func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool, workersPerJob, snapshotCache int) serve.Options {
 	opts := serve.Options{
 		MaxConcurrency:   concurrency,
 		WorkersPerJob:    workersPerJob,
@@ -62,6 +63,7 @@ func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Dura
 		MaxUploadBytes:   maxUpload,
 		BreakerThreshold: threshold,
 		BreakerCooldown:  cooldown,
+		SnapshotCache:    snapshotCache,
 	}
 	if !quiet {
 		opts.Logf = log.Printf

@@ -28,6 +28,16 @@
 // threshold-sweep evaluator — which is what the benchmark harness
 // (cmd/erbench) and the examples build on.
 //
+// # Stage traces and snapshot caching
+//
+// Every resolution executes through a staged engine; Result.Trace and
+// Pipeline.Trace report per-stage wall time, input/output sizes, fusion
+// round counts and blocking-degradation events. Attaching a
+// SnapshotCache via Options.Snapshots lets repeated runs over the same
+// records reuse the tokenized corpus and candidate graph — the cache is
+// content-keyed, so a hit is byte-identical to a recompute — with reused
+// stages marked Cached in the trace.
+//
 // # Benchmark replicas
 //
 // RestaurantReplica, ProductReplica and PaperReplica generate synthetic

@@ -2,11 +2,9 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"time"
 
 	"repro/internal/blocking"
-	"repro/internal/clock"
 )
 
 // FusionResult is the output of the full ITER ⇄ CliqueRank framework.
@@ -61,68 +59,22 @@ type FusionResult struct {
 // x/s/p vectors are scanned for NaN/±Inf and sanitized (see
 // FusionResult.NumericRepairs).
 func RunFusion(g *blocking.Graph, numRecords int, opts Options) (*FusionResult, error) {
-	now := clock.OrSystem(opts.Clock)
-	start := now()
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	p := make([]float64, g.NumPairs())
-	for k := range p {
-		p[k] = 1
-	}
-	res := &FusionResult{Converged: true}
-	iters := opts.FusionIterations
-	if iters < 1 {
-		iters = 1
-	}
 	// The reinforcement loop reuses its working memory across rounds: the
 	// ITER scratch carries the x/s/raw vectors, the arena recycles the
 	// record-graph and CliqueRank buffers, and p is rewritten in place. Only
 	// the last round's buffers survive into the result, so the steady state
 	// of the loop allocates nothing but the per-round adjacency pattern.
-	sc := &iterScratch{}
-	ar := &arena{}
-	for it := 1; it <= iters; it++ {
-		if err := opts.Check.Err(); err != nil {
+	f := NewFusionRun(g, numRecords, opts)
+	for f.Next() {
+		if _, err := f.StepITER(); err != nil {
 			return nil, err
 		}
-		iterRes := runITER(g, p, opts, rng, sc)
-		if err := opts.Check.Err(); err != nil {
+		f.StepGraph()
+		if err := f.StepRank(); err != nil {
 			return nil, err
-		}
-		res.X, res.S = iterRes.X, iterRes.S
-		res.ITERTrace = append(res.ITERTrace, iterRes.Updates)
-		res.ITERIterations = append(res.ITERIterations, iterRes.Iterations)
-		res.Converged = res.Converged && iterRes.Converged
-		res.NumericRepairs += sanitizeNonNegative(res.X)
-		res.NumericRepairs += sanitizeNonNegative(res.S)
-
-		if res.Graph != nil {
-			res.Graph.release()
-		}
-		res.Graph = buildRecordGraph(g, res.S, numRecords, ar)
-		if opts.UseRSS {
-			RSSInto(res.Graph, opts, p)
-		} else {
-			CliqueRankInto(res.Graph, opts, p)
-		}
-		if err := opts.Check.Err(); err != nil {
-			return nil, err
-		}
-		res.NumericRepairs += sanitizeProbabilities(p)
-		if opts.Progress != nil {
-			opts.Progress(it, res.S, p, now().Sub(start))
 		}
 	}
-	res.P = p
-	res.Matches = make([]bool, len(p))
-	for k, v := range p {
-		res.Matches[k] = v >= opts.Eta
-	}
-	res.Elapsed = now().Sub(start)
-	return res, nil
+	return f.Finish(), nil
 }
 
 // sanitizeNonNegative replaces NaN/±Inf (and the negative values that only a

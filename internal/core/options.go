@@ -75,6 +75,11 @@ type Options struct {
 	// selects runtime.GOMAXPROCS(0).
 	Workers int
 
+	// Scratch, when non-nil, recycles the record-graph and rank-kernel
+	// arena across sequential fusion runs on the same goroutine (see
+	// Scratch). Nil allocates a private arena per run.
+	Scratch *Scratch
+
 	// Check, when non-nil, is polled from the hot loops of ITER, CliqueRank
 	// and RSS. Once it reports cancellation, RunFusion abandons the
 	// remaining work and returns the checkpoint's error (for context-backed

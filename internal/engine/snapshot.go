@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/textproc"
+)
+
+// Snapshot is the cacheable artifact of the pre-matching stages: the
+// tokenized corpus and the blocked candidate graph for one dataset under
+// one option set, keyed by content. Both structures are immutable once
+// built (every downstream stage only reads them), which is what makes
+// sharing a snapshot across jobs safe.
+type Snapshot struct {
+	// Key is the content key the snapshot was stored under (see Key).
+	Key string
+	// Corpus is the tokenized, frequency-filtered corpus.
+	Corpus *textproc.Corpus
+	// Graph is the blocked candidate-pair graph.
+	Graph *blocking.Graph
+	// Degradation describes how blocking was degraded to satisfy the pair
+	// budget; nil when the budget was disabled or never exceeded.
+	Degradation *Degradation
+}
+
+// NumRecords returns the snapshot's record count.
+func (s *Snapshot) NumRecords() int { return s.Corpus.NumRecords() }
+
+// NumTerms returns the number of terms that survived pre-processing.
+func (s *Snapshot) NumTerms() int { return s.Corpus.NumTerms() }
+
+// NumPairs returns the candidate pair count.
+func (s *Snapshot) NumPairs() int { return s.Graph.NumPairs() }
+
+// Key derives the content key of the pre-matching artifacts: a hash over
+// the record texts and source labels plus every option that influences
+// tokenization or blocking. Runs with equal keys produce byte-identical
+// corpora and candidate graphs, so a cached snapshot substitutes exactly.
+func Key(texts []string, sources []int, copts textproc.CorpusOptions, bopts blocking.Options, maxPairs int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|records=%d|", len(texts))
+	for _, t := range texts {
+		fmt.Fprintf(h, "%d:", len(t))
+		io.WriteString(h, t)
+	}
+	fmt.Fprintf(h, "|sources=%d|", len(sources))
+	for _, s := range sources {
+		fmt.Fprintf(h, "%d,", s)
+	}
+	fmt.Fprintf(h, "|tok=%t,%d,%t|df=%g|mindf=%d|stop=",
+		copts.Tokenize.Lowercase, copts.Tokenize.MinLen, copts.Tokenize.KeepDigits,
+		copts.MaxDFRatio, copts.MinDF)
+	stop := append([]string(nil), copts.Stopwords...)
+	sort.Strings(stop)
+	for _, w := range stop {
+		fmt.Fprintf(h, "%q,", w)
+	}
+	fmt.Fprintf(h, "|block=%t,%d,%d,%g|budget=%d",
+		bopts.CrossSourceOnly, bopts.MaxTermRecords, bopts.MinSharedTerms, bopts.MinJaccard, maxPairs)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FusionKey derives the content key of a fusion run's term weights on top
+// of a snapshot key: the snapshot plus every core option that influences
+// the result. Workers, Check, Clock, Progress and Scratch are excluded on
+// purpose — fusion output is bit-identical across worker counts and
+// independent of instrumentation.
+func FusionKey(snapshotKey string, o core.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|fuse=%g,%d,%g,%d,%g,%d,%d,%t,%d,%t,%t,%t,%d",
+		snapshotKey,
+		o.Alpha, o.Steps, o.Eta, o.FusionIterations,
+		o.ITERTol, o.ITERMaxIters, int(o.Normalization),
+		o.UseRSS, o.RSSWalks,
+		o.DisableBonus, o.DisableMask, o.DisableDenominator,
+		o.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DefaultCacheCapacity is the snapshot capacity NewCache selects for
+// non-positive requests.
+const DefaultCacheCapacity = 8
+
+// CacheStats is a point-in-time view of a cache's effectiveness.
+type CacheStats struct {
+	// Hits and Misses count snapshot lookups since the cache was created.
+	Hits, Misses int64
+	// Entries is the number of snapshots currently held.
+	Entries int
+}
+
+// Cache is a bounded, mutex-guarded LRU of snapshots (and, piggybacked on
+// the same keys, of fusion term-weight vectors) shared across runs. All
+// methods are safe for concurrent use and nil-safe: a nil *Cache behaves
+// as an always-miss cache, so callers can thread an optional cache
+// without branching.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	snaps    map[string]*Snapshot
+	order    []string // least recently used first
+	weights  map[string][]float64
+	hits     int64
+	misses   int64
+}
+
+// NewCache returns a cache holding at most capacity snapshots (and at
+// most capacity term-weight vectors per snapshot generation). A
+// non-positive capacity selects DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		snaps:    make(map[string]*Snapshot),
+		weights:  make(map[string][]float64),
+	}
+}
+
+// Lookup returns the snapshot stored under key, marking it most recently
+// used. It counts a hit or a miss; a nil cache always misses without
+// counting.
+func (c *Cache) Lookup(key string) (*Snapshot, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.snaps[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.touch(key)
+	return s, true
+}
+
+// Add stores a snapshot under its own Key, evicting the least recently
+// used entry (and its cached term weights) past capacity. Adding to a nil
+// cache is a no-op.
+func (c *Cache) Add(s *Snapshot) {
+	if c == nil || s == nil || s.Key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.snaps[s.Key]; ok {
+		c.snaps[s.Key] = s
+		c.touch(s.Key)
+		return
+	}
+	//lint:ignore guardloop mutex-held eviction over a capacity-bounded cache; no unbounded work
+	for len(c.snaps) >= c.capacity && len(c.order) > 0 {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.snaps, evict)
+		for k := range c.weights {
+			if len(k) >= len(evict) && k[:len(evict)] == evict {
+				delete(c.weights, k)
+			}
+		}
+	}
+	c.snaps[s.Key] = s
+	c.order = append(c.order, s.Key)
+}
+
+// TermWeights returns a copy of the term-weight vector cached under a
+// FusionKey, if present. The copy keeps callers isolated from each other.
+func (c *Cache) TermWeights(fusionKey string) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.weights[fusionKey]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), w...), true
+}
+
+// AddTermWeights caches a copy of a fusion run's term weights under a
+// FusionKey. The copy matters: live fusion results alias per-run scratch
+// buffers.
+func (c *Cache) AddTermWeights(fusionKey string, w []float64) {
+	if c == nil || fusionKey == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.weights) >= 2*c.capacity {
+		return // soft bound; weight vectors are small but not free
+	}
+	c.weights[fusionKey] = append([]float64(nil), w...)
+}
+
+// Stats returns the cache's hit/miss counters and current size. A nil
+// cache reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.snaps)}
+}
+
+// touch moves key to the most-recently-used end of the order. Callers
+// hold c.mu.
+func (c *Cache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+	c.order = append(c.order, key)
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"repro"
 	"repro/internal/core"
 )
 
@@ -37,32 +36,27 @@ func RunAblations(cfg Config) ([]AblationResult, error) {
 		results[i].Name = spec.name
 	}
 	for di, name := range AllDatasets {
-		p, err := cfg.Pipeline(name)
+		b, err := cfg.Bench(name)
 		if err != nil {
 			return nil, err
 		}
-		full := runFusionF1(p, nil)
+		full := benchFusionF1(b, nil)
 		for i, spec := range ablationSpecs {
 			results[i].Full[di] = full
-			results[i].Ablated[di] = runFusionF1(p, spec.apply)
+			results[i].Ablated[di] = benchFusionF1(b, spec.apply)
 		}
 	}
 	return results, nil
 }
 
-// runFusionF1 executes the fusion loop on a pipeline's internal structures
-// with optionally modified core options and returns the resulting F1.
-func runFusionF1(p *er.Pipeline, modify func(*core.Options)) float64 {
-	_, g := p.Internals()
-	opts := p.CoreOptions()
-	if modify != nil {
-		modify(&opts)
-	}
-	res, err := core.RunFusion(g, g.NumRecords, opts)
+// benchFusionF1 runs the fusion stages on the harness snapshot with
+// optionally modified core options and returns the resulting F1.
+func benchFusionF1(b *Bench, modify func(*core.Options)) float64 {
+	res, _, err := b.Fusion(modify)
 	if err != nil {
 		return 0
 	}
-	if m, ok := p.EvaluateMatches(res.Matches); ok {
+	if m, ok := b.EvaluateMatches(res.Matches); ok {
 		return m.F1
 	}
 	return 0

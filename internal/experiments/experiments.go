@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/engine"
 )
 
 // DatasetName identifies one of the three benchmark replicas.
@@ -41,18 +42,41 @@ type Config struct {
 	// GOMAXPROCS). Ignored when Options is set — explicit Options carry
 	// their own Workers field.
 	Workers int
+	// Snapshots, when non-nil, is injected into every pipeline the config
+	// builds (unless explicit Options already carry a cache), so the
+	// pipeline-based experiments share tokenization and blocking per
+	// replica. Nil disables reuse. DefaultConfig sets one.
+	Snapshots *er.SnapshotCache
+	// Cache, when non-nil, backs the engine-level Bench harness: prepared
+	// snapshots and fusion term weights are shared across experiments on
+	// the same replica. Nil disables reuse. DefaultConfig sets one.
+	Cache *engine.Cache
 }
 
-// DefaultConfig runs at paper scale with the universal parameters.
-func DefaultConfig() Config { return Config{Seed: 1, Scale: 1.0} }
+// DefaultConfig runs at paper scale with the universal parameters and
+// shared snapshot caches, so the experiment suite pays for tokenization
+// and blocking once per replica.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		Scale:     1.0,
+		Snapshots: er.NewSnapshotCache(len(AllDatasets)),
+		Cache:     engine.NewCache(2 * len(AllDatasets)),
+	}
+}
 
 func (c Config) options() er.Options {
 	if c.Options != nil {
-		return *c.Options
+		o := *c.Options
+		if o.Snapshots == nil {
+			o.Snapshots = c.Snapshots
+		}
+		return o
 	}
 	o := er.DefaultOptions()
 	o.Seed = c.Seed
 	o.Workers = c.Workers
+	o.Snapshots = c.Snapshots
 	return o
 }
 

@@ -18,17 +18,20 @@ type Figure4Result struct {
 	Series []Figure4Series
 }
 
-// RunFigure4 runs the fusion framework per dataset and extracts the ranked
-// score(t) series.
+// RunFigure4 extracts the ranked score(t) series per dataset, reusing the
+// fusion term weights a Table IV run on the same Config already cached.
 func RunFigure4(cfg Config) (*Figure4Result, error) {
 	res := &Figure4Result{}
 	for _, name := range AllDatasets {
-		p, err := cfg.Pipeline(name)
+		b, err := cfg.Bench(name)
 		if err != nil {
 			return nil, err
 		}
-		out := p.Fusion()
-		series, ok := p.TermScoreSeries(out.TermWeights)
+		weights, err := b.FusionWeights()
+		if err != nil {
+			return nil, err
+		}
+		series, ok := b.TermScoreSeries(weights)
 		if !ok {
 			continue
 		}

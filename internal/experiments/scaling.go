@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // ScalingPoint is one measurement of the complexity study: graph size and
@@ -34,14 +35,18 @@ func RunScaling(cfg Config, scales []int) ([]ScalingPoint, error) {
 	for _, pct := range scales {
 		sub := cfg
 		sub.Scale = cfg.Scale * float64(pct) / 100
-		p, err := sub.Pipeline(Paper)
+		b, err := sub.Bench(Paper)
 		if err != nil {
 			return nil, err
 		}
-		_, g := p.Internals()
-		opts := p.CoreOptions()
-		iter := core.RunITER(g, ones(g.NumPairs()), opts, rand.New(rand.NewSource(opts.Seed)))
-		rg := core.BuildRecordGraph(g, iter.S, g.NumRecords)
+		// One fusion round = ITER on the all-ones prior, one record graph,
+		// one CliqueRank call — the exact per-call cost the study plots.
+		fres, trace, err := b.Fusion(func(o *core.Options) { o.FusionIterations = 1 })
+		if err != nil {
+			return nil, err
+		}
+		opts := b.CoreOptions()
+		rg := fres.Graph
 
 		var sumDegSq int64
 		for i := 0; i < rg.Pattern.N; i++ {
@@ -49,9 +54,10 @@ func RunScaling(cfg Config, scales []int) ([]ScalingPoint, error) {
 			sumDegSq += d * d
 		}
 
-		start := time.Now()
-		core.CliqueRank(rg, opts)
-		crTime := time.Since(start)
+		var crTime time.Duration
+		if st := trace.Find(engine.StageCliqueRank); st != nil {
+			crTime = st.Wall
+		}
 
 		sample := rg.NumEdges()
 		if sample > rssSampleEdges {
@@ -60,7 +66,7 @@ func RunScaling(cfg Config, scales []int) ([]ScalingPoint, error) {
 		var perEdge time.Duration
 		if sample > 0 {
 			positions := rand.New(rand.NewSource(opts.Seed)).Perm(rg.NumEdges())[:sample]
-			start = time.Now()
+			start := time.Now()
 			core.RSSOnEdges(rg, opts, positions)
 			perEdge = time.Since(start) / time.Duration(sample)
 		}
@@ -74,16 +80,6 @@ func RunScaling(cfg Config, scales []int) ([]ScalingPoint, error) {
 		})
 	}
 	return out, nil
-}
-
-// ones returns a probability vector initialized to 1 (the first-iteration
-// edge weight of the bipartite graph).
-func ones(n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = 1
-	}
-	return out
 }
 
 // RenderScaling formats the study.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Table3Row reproduces one Table III column: record-graph size, running
@@ -39,38 +40,32 @@ type Table3Result struct {
 // RSS cost.
 const rssSampleEdges = 400
 
-// RunTable3 replays the fusion loop with per-phase timing and estimates the
-// RSS cost on each dataset's final record graph.
+// RunTable3 runs the fusion stages through the engine, reads the
+// per-phase walls off the stage trace, and estimates the RSS cost on each
+// dataset's final record graph.
 func RunTable3(cfg Config) (*Table3Result, error) {
 	res := &Table3Result{}
 	published := map[DatasetName]float64{Restaurant: 1.3, Product: 1.5, Paper: 60}
 	for _, name := range AllDatasets {
-		p, err := cfg.Pipeline(name)
+		b, err := cfg.Bench(name)
 		if err != nil {
 			return nil, err
 		}
-		_, g := p.Internals()
-		opts := p.CoreOptions()
-		rng := rand.New(rand.NewSource(opts.Seed))
+		fres, trace, err := b.Fusion(nil)
+		if err != nil {
+			return nil, err
+		}
+		opts := b.CoreOptions()
 
 		row := Table3Row{Dataset: name, PublishedSpeedup: published[name]}
-		prob := make([]float64, g.NumPairs())
-		for k := range prob {
-			prob[k] = 1
+		row.TotalTime = fres.Elapsed
+		if st := trace.Find(engine.StageITER); st != nil {
+			row.ITERTime = st.Wall
 		}
-		var rg *core.RecordGraph
-		start := time.Now()
-		for it := 0; it < opts.FusionIterations; it++ {
-			t0 := time.Now()
-			iter := core.RunITER(g, prob, opts, rng)
-			row.ITERTime += time.Since(t0)
-
-			rg = core.BuildRecordGraph(g, iter.S, g.NumRecords)
-			t0 = time.Now()
-			prob = core.CliqueRank(rg, opts)
-			row.CliqueRankTime += time.Since(t0)
+		if st := trace.Find(engine.StageCliqueRank); st != nil {
+			row.CliqueRankTime = st.Wall
 		}
-		row.TotalTime = time.Since(start)
+		rg := fres.Graph
 		row.GraphNodes = rg.NumNodes()
 		row.GraphEdges = rg.NumEdges()
 

@@ -15,6 +15,9 @@ var determinismCallPackages = map[string]bool{
 	"repro/internal/matrix":   true,
 	"repro/internal/graph":    true,
 	"repro/internal/parallel": true,
+	// The staged engine times every stage; those readings must come from
+	// the run's injected clock, or traces stop being replayable.
+	"repro/internal/engine": true,
 	// The serve daemon is not a kernel, but its breaker transitions and
 	// latency accounting must be reproducible under a fake clock in tests,
 	// so it takes the same discipline: all time flows through an injected
@@ -33,6 +36,9 @@ var determinismMapPackages = map[string]bool{
 	"repro/internal/graph":    true,
 	"repro/internal/blocking": true,
 	"repro/internal/parallel": true,
+	// The engine's snapshot keys hash option sets (sorted stopwords) and
+	// its cache renders stats; neither may depend on map iteration order.
+	"repro/internal/engine": true,
 	// serve's /stats output lists breaker classes built from a map; the
 	// wire format must not leak map iteration order.
 	"repro/internal/serve": true,

@@ -17,6 +17,9 @@ var guardLoopPackages = map[string]bool{
 	"repro/internal/core":      true,
 	"repro/internal/blocking":  true,
 	"repro/internal/baselines": true,
+	// The staged engine owns the blocking degradation loop and drives the
+	// fusion rounds; its loops must poll the run's checkpoint.
+	"repro/internal/engine": true,
 }
 
 // GuardLoop returns the analyzer enforcing the PR-1 cancellation contract:

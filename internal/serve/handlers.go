@@ -116,6 +116,17 @@ type metricsJSON struct {
 	FN        int     `json:"fn"`
 }
 
+// stageJSON is the wire form of one StageTrace entry.
+type stageJSON struct {
+	Stage      string  `json:"stage"`
+	Cached     bool    `json:"cached,omitempty"`
+	WallMs     float64 `json:"wall_ms"`
+	In         int     `json:"in,omitempty"`
+	Out        int     `json:"out,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+}
+
 // jobResponse is the wire form of a job's terminal (or inspected) state.
 type jobResponse struct {
 	JobID       string       `json:"job_id"`
@@ -131,6 +142,7 @@ type jobResponse struct {
 	Repairs     int          `json:"numeric_repairs,omitempty"`
 	Degraded    bool         `json:"degraded,omitempty"`
 	Evaluation  *metricsJSON `json:"evaluation,omitempty"`
+	Stages      []stageJSON  `json:"stages,omitempty"`
 	Pairs       []matchJSON  `json:"pairs,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	Kind        string       `json:"kind,omitempty"`
@@ -253,6 +265,17 @@ func fillResult(resp *jobResponse, res *er.Result, includePairs bool) {
 			FP:        res.Evaluation.FP,
 			FN:        res.Evaluation.FN,
 		}
+	}
+	for _, st := range res.Trace {
+		resp.Stages = append(resp.Stages, stageJSON{
+			Stage:      st.Stage,
+			Cached:     st.Cached,
+			WallMs:     float64(st.Wall) / float64(time.Millisecond),
+			In:         st.In,
+			Out:        st.Out,
+			Rounds:     st.Rounds,
+			Iterations: st.Iterations,
+		})
 	}
 	if includePairs {
 		resp.Pairs = make([]matchJSON, len(res.Matches))

@@ -51,6 +51,9 @@ const (
 	// DefaultRetainedJobs is the terminal-job history size selected by a
 	// zero Options.RetainedJobs.
 	DefaultRetainedJobs = 256
+	// DefaultSnapshotCache is the snapshot-cache capacity selected by a
+	// zero Options.SnapshotCache.
+	DefaultSnapshotCache = 16
 )
 
 // Options configures a Server. The zero value is valid: every field's zero
@@ -95,6 +98,12 @@ type Options struct {
 	// RetainedJobs bounds the terminal jobs kept for /jobs/{id} lookups.
 	// Zero selects DefaultRetainedJobs.
 	RetainedJobs int
+	// SnapshotCache bounds the pre-matching snapshots (tokenized corpus +
+	// blocked candidate graph, content-keyed by dataset and options) shared
+	// across jobs, so repeated resolutions of the same dataset skip
+	// tokenization and blocking; cached stages show up in job traces with
+	// "cached". Zero selects DefaultSnapshotCache; negative disables reuse.
+	SnapshotCache int
 	// Clock injects the time source used for latency accounting and
 	// breaker transitions. Nil selects the system clock; tests inject a
 	// fake to make breaker timing deterministic.
@@ -146,6 +155,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetainedJobs <= 0 {
 		o.RetainedJobs = DefaultRetainedJobs
+	}
+	if o.SnapshotCache == 0 {
+		o.SnapshotCache = DefaultSnapshotCache
 	}
 	o.Clock = clock.OrSystem(o.Clock)
 	if o.Runner == nil {

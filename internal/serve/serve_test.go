@@ -411,3 +411,70 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestSnapshotReuseAcrossJobs submits the same replica twice and asserts
+// the second job is served from the snapshot cache: its tokenize and
+// block stages are cached, it executes measurably fewer stages, and
+// /stats reports the hit.
+func TestSnapshotReuseAcrossJobs(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	body := `{"replica":"restaurant","scale":0.2,"seed":7}`
+
+	executed := func(jr jobResponse) int {
+		n := 0
+		for _, st := range jr.Stages {
+			if !st.Cached {
+				n++
+			}
+		}
+		return n
+	}
+
+	status, first := postJSON(t, hs.URL, body)
+	if status != http.StatusOK || first.State != JobCompleted {
+		t.Fatalf("first job = %d/%s (error %q)", status, first.State, first.Error)
+	}
+	if len(first.Stages) == 0 {
+		t.Fatal("first job reported no stage trace")
+	}
+	for _, st := range first.Stages {
+		if st.Cached {
+			t.Fatalf("first job stage %s cached on a cold cache", st.Stage)
+		}
+	}
+
+	status, second := postJSON(t, hs.URL, body)
+	if status != http.StatusOK || second.State != JobCompleted {
+		t.Fatalf("second job = %d/%s (error %q)", status, second.State, second.Error)
+	}
+	var cached []string
+	for _, st := range second.Stages {
+		if st.Cached {
+			cached = append(cached, st.Stage)
+		}
+	}
+	if len(cached) < 2 {
+		t.Fatalf("second job cached stages = %v, want tokenize and block served from the snapshot cache", cached)
+	}
+	if got, want := executed(second), executed(first); got >= want {
+		t.Fatalf("second job executed %d stages, first executed %d; want fewer on a cache hit", got, want)
+	}
+	if second.Matches != first.Matches || second.Clusters != first.Clusters {
+		t.Fatalf("cached run changed the result: matches %d->%d clusters %d->%d",
+			first.Matches, second.Matches, first.Clusters, second.Clusters)
+	}
+
+	st := getStats(t, hs.URL)
+	if !st.SnapshotCache.Enabled || st.SnapshotCache.Hits < 1 {
+		t.Fatalf("snapshot cache stats = %+v, want enabled with at least one hit", st.SnapshotCache)
+	}
+	tok := StageStats{}
+	for _, sg := range st.Stages {
+		if sg.Stage == "tokenize" {
+			tok = sg
+		}
+	}
+	if tok.Executions != 2 || tok.Cached != 1 {
+		t.Fatalf("tokenize stage stats = %+v, want 2 executions with 1 cached", tok)
+	}
+}

@@ -43,10 +43,15 @@ type Server struct {
 	draining atomic.Bool
 	seq      atomic.Int64
 
+	// snapshots shares pre-matching artifacts across jobs on the same
+	// dataset (nil when Options.SnapshotCache is negative).
+	snapshots *er.SnapshotCache
+
 	c        counters
 	queueLat *latencyRing
 	runLat   *latencyRing
 	totalLat *latencyRing
+	stages   *stageTotals
 
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -68,6 +73,10 @@ func New(opts Options) *Server {
 		queueLat:    newLatencyRing(o.LatencyWindow),
 		runLat:      newLatencyRing(o.LatencyWindow),
 		totalLat:    newLatencyRing(o.LatencyWindow),
+		stages:      newStageTotals(),
+	}
+	if o.SnapshotCache > 0 {
+		s.snapshots = er.NewSnapshotCache(o.SnapshotCache)
 	}
 	for i := 0; i < o.MaxConcurrency; i++ {
 		s.workers.Add(1)
@@ -212,6 +221,12 @@ func (s *Server) runJob(j *job) {
 	if j.opts.Workers <= 0 || j.opts.Workers > s.opts.WorkersPerJob {
 		j.opts.Workers = s.opts.WorkersPerJob
 	}
+	// Snapshot reuse: every job resolves through the shared cache, so a
+	// second job on the same dataset skips tokenization and blocking (its
+	// trace reports those stages as cached).
+	if j.opts.Snapshots == nil {
+		j.opts.Snapshots = s.snapshots
+	}
 	var res *er.Result
 	var err error
 	func() {
@@ -254,6 +269,9 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	if err == nil {
+		if res != nil {
+			s.stages.record(res.Trace)
+		}
 		s.c.completed.Add(1)
 		s.breaker.onSuccess(j.class)
 		s.opts.Logf("serve: %s class=%s completed in %s (queue %s)", j.id, j.class, runTime, queueWait)
@@ -353,5 +371,7 @@ func (s *Server) Stats() Stats {
 		RunLatency:     s.runLat.quantiles(),
 		TotalLatency:   s.totalLat.quantiles(),
 		Breakers:       s.breaker.snapshot(),
+		Stages:         s.stages.snapshot(),
+		SnapshotCache:  snapshotCacheStats(s.snapshots),
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	er "repro"
 )
 
 // counters aggregates the server's monotonic event counts. Every request
@@ -85,6 +87,91 @@ func (r *latencyRing) quantiles() LatencyStats {
 	}
 }
 
+// StageStats is the /stats view of one pipeline stage aggregated across
+// every completed job: how often it ran, how often the snapshot cache
+// served it, and its cumulative executed wall time (cached servings
+// contribute no wall).
+type StageStats struct {
+	Stage      string  `json:"stage"`
+	Executions int64   `json:"executions"`
+	Cached     int64   `json:"cached"`
+	TotalMs    float64 `json:"total_ms"`
+}
+
+// stageTotals aggregates per-stage counters across completed jobs.
+type stageTotals struct {
+	mu sync.Mutex
+	m  map[string]*stageAccum
+}
+
+type stageAccum struct {
+	executions int64
+	cached     int64
+	wall       time.Duration
+}
+
+func newStageTotals() *stageTotals {
+	return &stageTotals{m: make(map[string]*stageAccum)}
+}
+
+// record folds one completed job's trace into the totals.
+func (t *stageTotals) record(tr er.Trace) {
+	t.mu.Lock()
+	for _, st := range tr {
+		a := t.m[st.Stage]
+		if a == nil {
+			a = &stageAccum{}
+			t.m[st.Stage] = a
+		}
+		a.executions++
+		if st.Cached {
+			a.cached++
+		} else {
+			a.wall += st.Wall
+		}
+	}
+	t.mu.Unlock()
+}
+
+// snapshot returns the totals sorted by stage name for a deterministic
+// /stats body.
+func (t *stageTotals) snapshot() []StageStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.m))
+	for name := range t.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StageStats, len(names))
+	for i, name := range names {
+		a := t.m[name]
+		out[i] = StageStats{
+			Stage:      name,
+			Executions: a.executions,
+			Cached:     a.cached,
+			TotalMs:    float64(a.wall) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// SnapshotCacheStats is the /stats view of the shared snapshot cache.
+type SnapshotCacheStats struct {
+	Enabled bool  `json:"enabled"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+func snapshotCacheStats(c *er.SnapshotCache) SnapshotCacheStats {
+	if c == nil {
+		return SnapshotCacheStats{}
+	}
+	st := c.Stats()
+	return SnapshotCacheStats{Enabled: true, Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+}
+
 // Stats is the full /stats snapshot.
 type Stats struct {
 	QueueDepth     int                 `json:"queue_depth"`
@@ -104,4 +191,6 @@ type Stats struct {
 	RunLatency     LatencyStats        `json:"run_latency"`
 	TotalLatency   LatencyStats        `json:"total_latency"`
 	Breakers       []BreakerClassStats `json:"breakers"`
+	Stages         []StageStats        `json:"stages"`
+	SnapshotCache  SnapshotCacheStats  `json:"snapshot_cache"`
 }

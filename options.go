@@ -100,6 +100,13 @@ type Options struct {
 	// current pair similarities, matching probabilities and cumulative
 	// elapsed time.
 	Progress func(iteration int, s, p []float64, elapsed time.Duration)
+
+	// Snapshots, when non-nil, caches the pre-matching artifacts
+	// (tokenized corpus, blocked candidate graph, degradation report)
+	// content-keyed by dataset and options, so repeated pipelines over the
+	// same data skip the dominant pre-matching cost; cached stages appear
+	// in the trace with Cached set. Nil disables reuse.
+	Snapshots *SnapshotCache
 }
 
 // DefaultOptions returns the paper's universal setting.

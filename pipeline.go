@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -12,8 +11,8 @@ import (
 	"repro/internal/blocking"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
-	"repro/internal/guard"
 	"repro/internal/similarity"
 	"repro/internal/textproc"
 )
@@ -25,10 +24,12 @@ import (
 type Pipeline struct {
 	dataset     *Dataset
 	opts        Options
+	snap        *engine.Snapshot
 	corpus      *textproc.Corpus
 	graph       *blocking.Graph
 	truth       map[uint64]bool
 	degradation *DegradationReport
+	buildTrace  engine.Trace
 }
 
 // DegradationReport describes how the pipeline degraded candidate
@@ -61,10 +62,13 @@ type DegradationReport struct {
 func NewPipeline(d *Dataset, opts Options) *Pipeline {
 	p, err := buildPipeline(context.Background(), d, opts.normalized())
 	if err != nil {
-		// Unreachable: a background context cannot cancel and er.Dataset
-		// guarantees source labels aligned with records. Kept as a panic so
-		// a future regression fails loudly in tests rather than silently.
-		//lint:invariant background-context build cannot fail; a panic here is a regression tests must catch
+		// Unreachable: every construction path — including the degradation
+		// rebuilds — flows through the engine's single error return, whose
+		// only failure modes are cancellation (impossible on a background
+		// context) and source/record misalignment (impossible by er.Dataset
+		// construction). Kept as a panic so a future regression fails
+		// loudly in tests rather than silently.
+		//lint:invariant background-context engine build cannot fail; a panic here is a regression tests must catch
 		panic(err)
 	}
 	return p
@@ -102,79 +106,83 @@ func (o Options) withWallClock(ctx context.Context) (context.Context, context.Ca
 // buildPipeline is the shared constructor body. ctx must already carry any
 // wall-clock budget; opts must already be validated or normalized.
 func buildPipeline(ctx context.Context, d *Dataset, opts Options) (*Pipeline, error) {
-	check := guard.FromContext(ctx)
-	if err := check.Err(); err != nil {
-		return nil, wrapRunErr(ctx, err)
-	}
-	corpus := textproc.BuildCorpus(d.ds.Texts(), opts.corpusOptions())
-	bOpts := blocking.Options{
-		CrossSourceOnly: d.ds.NumSources > 1,
-		MaxTermRecords:  opts.MaxTermRecords,
-		MinSharedTerms:  opts.MinSharedTerms,
-		MinJaccard:      opts.MinJaccard,
-		Check:           check,
-	}
-	build := func() (*blocking.Graph, error) {
-		g, err := blocking.Build(corpus, d.ds.Sources(), bOpts)
-		if err != nil {
-			if ctxErr := check.Err(); ctxErr != nil {
-				return nil, wrapRunErr(ctx, ctxErr)
-			}
-			return nil, fmt.Errorf("%w: %v", ErrInternal, err)
-		}
-		return g, nil
-	}
-	g, err := build()
+	run := engine.NewRun(ctx, engine.RunOptions{Workers: opts.Workers})
+	return buildPipelineRun(run, ctx, d, opts)
+}
+
+// buildPipelineRun executes the pre-matching stages (tokenize, block with
+// the MaxCandidatePairs degradation) on an existing engine run, so
+// ResolveContext threads one run — and one trace — through construction,
+// fusion, clustering and evaluation.
+func buildPipelineRun(run *engine.Run, ctx context.Context, d *Dataset, opts Options) (*Pipeline, error) {
+	snap, err := engine.Prepare(run, engine.PrepareInputs{
+		Texts:   d.ds.Texts(),
+		Sources: d.ds.Sources(),
+		Corpus:  opts.corpusOptions(),
+		Blocking: blocking.Options{
+			CrossSourceOnly: d.ds.NumSources > 1,
+			MaxTermRecords:  opts.MaxTermRecords,
+			MinSharedTerms:  opts.MinSharedTerms,
+			MinJaccard:      opts.MinJaccard,
+		},
+		MaxPairs: opts.MaxCandidatePairs,
+		Cache:    opts.Snapshots.engineCache(),
+	})
 	if err != nil {
-		return nil, err
+		// Cancellation observed by the engine (directly or through a
+		// failed blocking pass) maps to the run taxonomy; anything else is
+		// an internal invariant violation.
+		if ctxErr := run.Check().Err(); ctxErr != nil {
+			return nil, wrapRunErr(ctx, ctxErr)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
-
-	var report *DegradationReport
-	if budget := opts.MaxCandidatePairs; budget > 0 && g.NumPairs() > budget {
-		report = &DegradationReport{
-			OriginalPairs:  g.NumPairs(),
-			MinJaccard:     opts.MinJaccard,
-			MaxTermRecords: opts.MaxTermRecords,
-		}
-		// Tighten the two blocking knobs geometrically and rebuild. Each
-		// attempt prunes the weakest candidates first (low-Jaccard pairs,
-		// pairs generated only by high-frequency terms), which is the
-		// degradation order that costs the least recall per dropped pair.
-		for attempt := 0; attempt < 4 && g.NumPairs() > budget; attempt++ {
-			report.MinJaccard = math.Min(0.9, report.MinJaccard+0.15)
-			if report.MaxTermRecords <= 0 || report.MaxTermRecords > 256 {
-				report.MaxTermRecords = 256
-			} else if report.MaxTermRecords > 8 {
-				report.MaxTermRecords = report.MaxTermRecords / 2
-			}
-			bOpts.MinJaccard = report.MinJaccard
-			bOpts.MaxTermRecords = report.MaxTermRecords
-			if g, err = build(); err != nil {
-				return nil, err
-			}
-			report.Steps = append(report.Steps, fmt.Sprintf(
-				"tightened blocking to MinJaccard=%.2f MaxTermRecords=%d: %d pairs",
-				report.MinJaccard, report.MaxTermRecords, g.NumPairs()))
-		}
-		if g.NumPairs() > budget {
-			report.TruncatedPairs = g.NumPairs() - budget
-			g = blocking.Truncate(g, budget)
-			report.Steps = append(report.Steps, fmt.Sprintf(
-				"truncated %d pairs beyond the budget of %d", report.TruncatedPairs, budget))
-		}
-		report.FinalPairs = g.NumPairs()
+	p := &Pipeline{
+		dataset:     d,
+		opts:        opts,
+		snap:        snap,
+		corpus:      snap.Corpus,
+		graph:       snap.Graph,
+		degradation: degradationReport(snap.Degradation),
+		buildTrace:  run.Trace(),
 	}
-
-	p := &Pipeline{dataset: d, opts: opts, corpus: corpus, graph: g, degradation: report}
 	if d.HasGroundTruth() {
 		p.truth = d.ds.TrueMatches()
 	}
 	return p, nil
 }
 
+// degradationReport converts the engine's degradation record into the
+// public report type.
+func degradationReport(d *engine.Degradation) *DegradationReport {
+	if d == nil {
+		return nil
+	}
+	return &DegradationReport{
+		OriginalPairs:  d.OriginalPairs,
+		FinalPairs:     d.FinalPairs,
+		MinJaccard:     d.MinJaccard,
+		MaxTermRecords: d.MaxTermRecords,
+		TruncatedPairs: d.TruncatedPairs,
+		Steps:          d.Steps,
+	}
+}
+
 // Degradation returns the report of the MaxCandidatePairs budget
 // degradation, or nil when the budget was disabled or never exceeded.
 func (p *Pipeline) Degradation() *DegradationReport { return p.degradation }
+
+// Trace returns the stage trace of the pipeline's construction: the
+// tokenize and block stages with their wall times and sizes, flagged
+// Cached when Options.Snapshots served them from a previous run.
+func (p *Pipeline) Trace() Trace { return fromEngineTrace(p.buildTrace) }
+
+// SnapshotKey returns the content key of the pipeline's pre-matching
+// snapshot — a hash over the record texts, source labels, and every
+// option that influences tokenization or blocking. Pipelines with equal
+// keys share identical corpora and candidate graphs, which is the
+// identity Options.Snapshots caches under.
+func (p *Pipeline) SnapshotKey() string { return p.snap.Key }
 
 // CheckCandidates reports whether the pipeline has any work to do:
 // ErrNoRecords for an empty dataset, ErrNoCandidates when no two records
@@ -291,6 +299,9 @@ type FusionOutcome struct {
 	// guardrails replaced with their documented fallbacks; 0 on a healthy
 	// run.
 	NumericRepairs int
+	// Trace records the fusion stages (iter, recordgraph, cliquerank/rss,
+	// fuse) with per-stage wall times, sizes and iteration counts.
+	Trace Trace
 	// Elapsed is the wall-clock time of the fusion loop.
 	Elapsed time.Duration
 }
@@ -322,9 +333,16 @@ func (p *Pipeline) Fusion() *FusionOutcome {
 func (p *Pipeline) FusionContext(ctx context.Context) (*FusionOutcome, error) {
 	ctx, cancel := p.opts.withWallClock(ctx)
 	defer cancel()
-	cOpts := p.opts.coreOptions()
-	cOpts.Check = guard.FromContext(ctx)
-	res, err := core.RunFusion(p.graph, p.dataset.NumRecords(), cOpts)
+	run := engine.NewRun(ctx, engine.RunOptions{Workers: p.opts.Workers})
+	return p.fuseRun(ctx, run)
+}
+
+// fuseRun executes the fusion stages on an existing engine run; the
+// outcome's Trace carries only the stages this call recorded, so a shared
+// run (ResolveContext) keeps its earlier stages separate.
+func (p *Pipeline) fuseRun(ctx context.Context, run *engine.Run) (*FusionOutcome, error) {
+	before := run.Stages()
+	res, err := engine.Fuse(run, p.graph, p.dataset.NumRecords(), p.opts.coreOptions())
 	if err != nil {
 		return nil, wrapRunErr(ctx, err)
 	}
@@ -339,6 +357,7 @@ func (p *Pipeline) FusionContext(ctx context.Context) (*FusionOutcome, error) {
 		Converged:       res.Converged,
 		ITERIterations:  res.ITERIterations,
 		NumericRepairs:  res.NumericRepairs,
+		Trace:           fromEngineTrace(run.Trace()[before:]),
 		Elapsed:         res.Elapsed,
 	}, nil
 }
@@ -567,6 +586,10 @@ type Result struct {
 	// Degradation reports how candidate generation was degraded to satisfy
 	// Options.MaxCandidatePairs; nil when no degradation was needed.
 	Degradation *DegradationReport
+	// Trace records every pipeline stage of the run in execution order —
+	// tokenize, block, the fusion phases, cluster, evaluate — with wall
+	// times, sizes and Cached flags (see StageTrace).
+	Trace Trace
 	// Elapsed is the fusion wall-clock time.
 	Elapsed time.Duration
 }
@@ -597,17 +620,24 @@ func ResolveContext(ctx context.Context, d *Dataset, opts Options) (res *Result,
 	}
 	ctx, cancel := opts.withWallClock(ctx)
 	defer cancel()
-	p, err := buildPipeline(ctx, d, opts)
+	// One engine run carries the whole resolution, so Result.Trace records
+	// every stage — construction through evaluation — in execution order.
+	run := engine.NewRun(ctx, engine.RunOptions{Workers: opts.Workers})
+	p, err := buildPipelineRun(run, ctx, d, opts)
 	if err != nil {
 		return nil, err
 	}
-	out, err := p.FusionContext(ctx)
+	out, err := p.fuseRun(ctx, run)
 	if err != nil {
 		return nil, err
+	}
+	clusters, err := engine.Cluster(run, d.NumRecords(), p.graph.Pairs, out.Matched)
+	if err != nil {
+		return nil, wrapRunErr(ctx, err)
 	}
 	res = &Result{
 		Probabilities:  out.Probabilities,
-		Clusters:       p.Clusters(out.Matched),
+		Clusters:       clusters,
 		GraphNodes:     out.GraphNodes,
 		GraphEdges:     out.GraphEdges,
 		Converged:      out.Converged,
@@ -622,22 +652,35 @@ func ResolveContext(ctx context.Context, d *Dataset, opts Options) (res *Result,
 		i, j := p.CandidatePair(k)
 		res.Matches = append(res.Matches, Match{I: i, J: j, Probability: out.Probabilities[k]})
 	}
-	if m, ok := p.EvaluateMatches(out.Matched); ok {
+	if p.truth != nil {
+		prf, err := engine.Evaluate(run, p.graph.Pairs, out.Matched, p.truth, len(p.truth))
+		if err != nil {
+			return nil, wrapRunErr(ctx, err)
+		}
+		m := fromPRF(prf)
 		res.Evaluation = &m
 	}
+	res.Trace = fromEngineTrace(run.Trace())
 	return res, nil
 }
 
-// Internals exposes the pipeline's internal corpus and candidate structures
-// to the same-module experiment harness (internal/experiments) and the
-// benchmark suite, which need to time ITER, CliqueRank and RSS separately
-// for the Table III reproduction. The returned types live under internal/
-// and cannot be named by external importers; this accessor is not part of
-// the supported API surface.
+// Internals exposes the pipeline's internal corpus and candidate
+// structures. The returned types live under internal/ and cannot be named
+// by external importers; this accessor was never part of the supported
+// API surface.
+//
+// Deprecated: the staged execution engine supersedes this bridge. Use the
+// typed snapshot surface instead — Pipeline.Trace, Pipeline.SnapshotKey,
+// FusionOutcome.Trace/Result.Trace for per-stage timing, and (inside this
+// module) internal/engine.Prepare/Fuse for stage-level access, as
+// internal/experiments now does.
 func (p *Pipeline) Internals() (*textproc.Corpus, *blocking.Graph) {
 	return p.corpus, p.graph
 }
 
 // CoreOptions converts the pipeline's options into the internal core
-// parameter set (same-module harness bridge, as with Internals).
+// parameter set.
+//
+// Deprecated: a bridge of the same vintage as Internals; superseded by
+// the staged execution engine (internal/engine) for in-module harnesses.
 func (p *Pipeline) CoreOptions() core.Options { return p.opts.coreOptions() }

@@ -278,6 +278,106 @@ func TestMaxCandidatePairsTightening(t *testing.T) {
 	probabilities(t, "p", res.Probabilities)
 }
 
+// TestDegradationStepsOrdering pins the narration contract of
+// DegradationReport.Steps: tightening steps come first, in the order they
+// were attempted, with MinJaccard strictly increasing and MaxTermRecords
+// strictly decreasing, and a truncation step — when present — is the
+// single final entry. Downstream log consumers parse these strings, so
+// their shape and order are part of the API.
+func TestDegradationStepsOrdering(t *testing.T) {
+	d := er.NewDataset("giant", giantBlockRecords(40, 6)) // 600 natural pairs
+	opts := er.DefaultOptions()
+	opts.MaxCandidatePairs = 1 // forces all four tightening attempts, then truncation
+	res, err := er.ResolveContext(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation == nil {
+		t.Fatal("budget exceeded but Degradation is nil")
+	}
+	dr := res.Degradation
+	// Identical records are immune to tightening (within-block Jaccard is
+	// 1, block size is far below the term-df floor), so the engine must
+	// exhaust all four tightening attempts and then truncate: five steps.
+	if len(dr.Steps) != 5 {
+		t.Fatalf("Steps = %q, want 4 tightening steps and 1 truncation", dr.Steps)
+	}
+	prevJaccard, prevTermRecords := opts.MinJaccard, math.MaxInt
+	for i, step := range dr.Steps[:4] {
+		var mj float64
+		var mtr, pairs int
+		if _, err := fmt.Sscanf(step, "tightened blocking to MinJaccard=%f MaxTermRecords=%d: %d pairs",
+			&mj, &mtr, &pairs); err != nil {
+			t.Fatalf("Steps[%d] = %q does not narrate a tightening: %v", i, step, err)
+		}
+		if mj <= prevJaccard {
+			t.Errorf("Steps[%d]: MinJaccard %.2f not above previous %.2f", i, mj, prevJaccard)
+		}
+		if mtr >= prevTermRecords {
+			t.Errorf("Steps[%d]: MaxTermRecords %d not below previous %d", i, mtr, prevTermRecords)
+		}
+		if pairs != dr.OriginalPairs {
+			t.Errorf("Steps[%d]: narrated %d pairs, want the tightening-immune %d", i, pairs, dr.OriginalPairs)
+		}
+		prevJaccard, prevTermRecords = mj, mtr
+	}
+	// The final fields must match the narrated trajectory: tightening
+	// never went past its caps, and the report reflects the last attempt.
+	if dr.MinJaccard != prevJaccard || dr.MaxTermRecords != prevTermRecords {
+		t.Errorf("report knobs (%.2f, %d) disagree with last narrated step (%.2f, %d)",
+			dr.MinJaccard, dr.MaxTermRecords, prevJaccard, prevTermRecords)
+	}
+	var truncated, budget int
+	if _, err := fmt.Sscanf(dr.Steps[4], "truncated %d pairs beyond the budget of %d",
+		&truncated, &budget); err != nil {
+		t.Fatalf("final step %q does not narrate a truncation: %v", dr.Steps[4], err)
+	}
+	if truncated != dr.TruncatedPairs || budget != opts.MaxCandidatePairs {
+		t.Errorf("truncation step narrates (%d, %d), report says (%d, %d)",
+			truncated, budget, dr.TruncatedPairs, opts.MaxCandidatePairs)
+	}
+}
+
+// TestTruncatedPairsExactness cross-checks TruncatedPairs against an
+// independent rebuild: resolving the same dataset with the final tightened
+// knobs and no budget must yield exactly TruncatedPairs + budget
+// candidates. This pins the accounting, not just the narration.
+func TestTruncatedPairsExactness(t *testing.T) {
+	recs := giantBlockRecords(12, 5) // 12 * 10 = 120 natural pairs
+	d := er.NewDataset("giant", recs)
+	opts := er.DefaultOptions()
+	opts.MaxCandidatePairs = 7
+	res, err := er.ResolveContext(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := res.Degradation
+	if dr == nil {
+		t.Fatal("budget exceeded but Degradation is nil")
+	}
+	if dr.FinalPairs != opts.MaxCandidatePairs || len(res.Probabilities) != opts.MaxCandidatePairs {
+		t.Fatalf("FinalPairs = %d, probabilities = %d, want the budget %d",
+			dr.FinalPairs, len(res.Probabilities), opts.MaxCandidatePairs)
+	}
+	// Rebuild with the report's final knobs, budget disabled: the candidate
+	// count before truncation must equal FinalPairs + TruncatedPairs.
+	rebuilt := er.DefaultOptions()
+	rebuilt.MinJaccard = dr.MinJaccard
+	rebuilt.MaxTermRecords = dr.MaxTermRecords
+	p, err := er.NewPipelineContext(context.Background(), d, rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.NumCandidates() - opts.MaxCandidatePairs; dr.TruncatedPairs != want {
+		t.Errorf("TruncatedPairs = %d, want %d (independent rebuild found %d pairs at the final knobs)",
+			dr.TruncatedPairs, want, p.NumCandidates())
+	}
+	if dr.OriginalPairs != 120 {
+		t.Errorf("OriginalPairs = %d, want 120", dr.OriginalPairs)
+	}
+	probabilities(t, "p", res.Probabilities)
+}
+
 // TestResolveErrorTaxonomy pins the sentinel for each rejection path.
 func TestResolveErrorTaxonomy(t *testing.T) {
 	if _, err := er.Resolve(nil, er.DefaultOptions()); !errors.Is(err, er.ErrNoRecords) {

@@ -2,11 +2,13 @@
 # bench.sh — regenerate the benchmark-regression baseline BENCH_core.json.
 #
 # Runs the core kernel benchmarks (ITER / CliqueRank / fusion, including the
-# Product-scale workers={1,2,4} fan-out matrix), pipes the output through
-# cmd/erbenchjson, and writes BENCH_core.json at the repo root: ns/op,
-# B/op, allocs/op per kernel and worker count, each fan-out's speedup
-# against the same run's workers=1, and the serial speedup against the
-# committed pre-optimization seed in results/bench_baseline_seed.txt.
+# Product-scale workers={1,2,4} fan-out matrix) plus the root package's
+# BenchmarkResolveStages (whose stage-<name>-ms metrics record the engine's
+# per-stage wall clock), pipes the output through cmd/erbenchjson, and
+# writes BENCH_core.json at the repo root: ns/op, B/op, allocs/op per
+# kernel and worker count, per-stage timings under stage_ms, each fan-out's
+# speedup against the same run's workers=1, and the serial speedup against
+# the committed pre-optimization seed in results/bench_baseline_seed.txt.
 #
 #   scripts/bench.sh            # full run (benchtime 2s; minutes)
 #   scripts/bench.sh -quick     # CI smoke: benchtime 50ms, timing is noise,
@@ -27,6 +29,10 @@ mkdir -p results
 echo "==> go test -bench (benchtime $benchtime)" >&2
 go test ./internal/core/ -run xxx -bench 'ITER|CliqueRank|Fusion' \
     -benchmem -benchtime "$benchtime" -timeout 30m | tee results/bench_latest.txt
+
+echo "==> go test -bench ResolveStages (per-stage timings)" >&2
+go test . -run xxx -bench 'ResolveStages' \
+    -benchtime "$benchtime" -timeout 30m | tee -a results/bench_latest.txt
 
 echo "==> erbenchjson -> BENCH_core.json" >&2
 go run ./cmd/erbenchjson -baseline results/bench_baseline_seed.txt \

@@ -35,8 +35,8 @@ go build ./...
 echo "==> erlint"
 go run ./cmd/erlint ./...
 
-echo "==> go test -race"
-go test -race ./...
+echo "==> go test -race -shuffle=on"
+go test -race -shuffle=on ./...
 
 echo "==> erserve smoke (boot, resolve, drain)"
 ./scripts/smoke_erserve.sh

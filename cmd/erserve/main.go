@@ -8,12 +8,18 @@
 //	POST /resolve    submit a job and wait for its result
 //	GET  /jobs/{id}  inspect a retained job
 //	GET  /healthz    liveness
-//	GET  /readyz     readiness (503 while draining)
+//	GET  /readyz     readiness (503 while draining or recovering)
 //	GET  /stats      counters, latency quantiles, breaker state
 //
+// plus the durable collections API (/collections...; see serve.Handler).
+// With -data-dir every collection mutation is journaled through a
+// checksummed write-ahead log before it is acknowledged; on startup the
+// daemon replays the journal (newest snapshot first, then the log tail)
+// and reports progress through /readyz.
+//
 // On SIGTERM or SIGINT the daemon stops admitting work, lets in-flight
-// jobs finish within the drain budget, hard-cancels stragglers, and exits
-// 0 on a clean drain.
+// jobs finish within the drain budget, hard-cancels stragglers, writes a
+// final state snapshot to the journal, and exits 0 on a clean drain.
 package main
 
 import (
@@ -45,34 +51,39 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress per-job lifecycle logs")
 		workers     = flag.Int("workers-per-job", 0, "kernel-goroutine budget per job (0 = GOMAXPROCS/concurrency, min 1)")
 		snapshots   = flag.Int("snapshot-cache", 0, "snapshots shared across jobs on the same dataset (0 = default, negative disables)")
+		dataDir     = flag.String("data-dir", "", "directory for the durable-collections journal (empty = in-memory collections)")
+		fsyncIvl    = flag.Duration("fsync-interval", 0, "group-commit window for journal fsyncs (0 = fsync every mutation; requires -data-dir)")
+		maxSegment  = flag.Int64("max-segment-bytes", 0, "journal segment size triggering rotation (0 = default; requires -data-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, serveOptions(*concurrency, *queueDepth, *jobTimeout, *drainBudget, *maxUpload, *threshold, *cooldown, *quiet, *workers, *snapshots), *drainBudget); err != nil {
+	opts := serve.Options{
+		MaxConcurrency:   *concurrency,
+		WorkersPerJob:    *workers,
+		QueueDepth:       *queueDepth,
+		JobTimeout:       *jobTimeout,
+		DrainBudget:      *drainBudget,
+		MaxUploadBytes:   *maxUpload,
+		BreakerThreshold: *threshold,
+		BreakerCooldown:  *cooldown,
+		SnapshotCache:    *snapshots,
+		DataDir:          *dataDir,
+		FsyncInterval:    *fsyncIvl,
+		MaxSegmentBytes:  *maxSegment,
+	}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+	if err := run(*addr, opts, *drainBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}
 }
 
-func serveOptions(concurrency, queueDepth int, jobTimeout, drainBudget time.Duration, maxUpload int64, threshold int, cooldown time.Duration, quiet bool, workersPerJob, snapshotCache int) serve.Options {
-	opts := serve.Options{
-		MaxConcurrency:   concurrency,
-		WorkersPerJob:    workersPerJob,
-		QueueDepth:       queueDepth,
-		JobTimeout:       jobTimeout,
-		DrainBudget:      drainBudget,
-		MaxUploadBytes:   maxUpload,
-		BreakerThreshold: threshold,
-		BreakerCooldown:  cooldown,
-		SnapshotCache:    snapshotCache,
-	}
-	if !quiet {
-		opts.Logf = log.Printf
-	}
-	return opts
-}
-
 func run(addr string, opts serve.Options, drainBudget time.Duration) error {
-	srv := serve.New(opts)
+	srv, err := serve.New(opts)
+	if err != nil {
+		return fmt.Errorf("options: %w", err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)

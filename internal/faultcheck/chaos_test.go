@@ -1,0 +1,357 @@
+package faultcheck
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// The WAL chaos suite: drive the log through FaultFS under every injected
+// storage failure and assert the crash-recovery contract — acknowledged
+// records always replay, unacknowledged damage surfaces as a typed error
+// or a reported torn tail, and nothing ever panics.
+
+func chaosPayload(i int) []byte { return []byte(fmt.Sprintf("chaos-%04d", i)) }
+
+// reopenClean replays dir through the real filesystem (the faults are
+// write-time; recovery itself must run clean) and returns the recovery.
+func reopenClean(t *testing.T, dir string) *wal.Recovery {
+	t.Helper()
+	l, rec, err := wal.Open(context.Background(), wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("recovery Close: %v", err)
+	}
+	return rec
+}
+
+// wantAcked asserts the recovery contains every acknowledged record, in
+// order, with the payloads that were written.
+func wantAcked(t *testing.T, rec *wal.Recovery, acked []uint64) {
+	t.Helper()
+	if len(rec.Records) < len(acked) {
+		t.Fatalf("replayed %d record(s), want at least the %d acknowledged", len(rec.Records), len(acked))
+	}
+	for i, seq := range acked {
+		r := rec.Records[i]
+		if r.Seq != seq {
+			t.Fatalf("record %d: seq %d, want %d", i, r.Seq, seq)
+		}
+	}
+}
+
+func TestChaosShortWrites(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	fs.ShortWriteEvery = 3
+	l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var acked []uint64
+	var failures int
+	for i := 1; i <= 20; i++ {
+		seq, err := l.AppendDurable(context.Background(), 1, chaosPayload(i))
+		if err != nil {
+			if !errors.Is(err, ErrInjectedIO) {
+				t.Fatalf("append %d failed with a non-injected error: %v", i, err)
+			}
+			failures++
+			continue
+		}
+		acked = append(acked, seq)
+	}
+	if failures == 0 {
+		t.Fatal("ShortWriteEvery=3 injected no failures")
+	}
+	if len(acked) == 0 {
+		t.Fatal("every append failed; the tail repair is not recovering the segment")
+	}
+	if l.Stats().Wedged {
+		t.Fatal("repaired short writes wedged the log")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec := reopenClean(t, dir)
+	if len(rec.Records) != len(acked) {
+		t.Fatalf("replayed %d record(s), want exactly the %d acknowledged", len(rec.Records), len(acked))
+	}
+	wantAcked(t, rec, acked)
+	if rec.TornTail {
+		t.Fatal("repaired segment still has a torn tail")
+	}
+}
+
+func TestChaosFsyncFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	fs.FailSyncAfter = 2
+	l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Syncs 0 and 1 succeed, so two appends are acknowledged; the third
+	// append's fsync fails and must wedge the log.
+	var acked []uint64
+	var wedgeErr error
+	for i := 1; i <= 5; i++ {
+		seq, err := l.AppendDurable(context.Background(), 1, chaosPayload(i))
+		if err != nil {
+			wedgeErr = err
+			break
+		}
+		acked = append(acked, seq)
+	}
+	if len(acked) != 2 {
+		t.Fatalf("%d append(s) acknowledged before the fsync fault, want 2", len(acked))
+	}
+	if !errors.Is(wedgeErr, wal.ErrWedged) || !errors.Is(wedgeErr, ErrInjectedIO) {
+		t.Fatalf("fsync failure surfaced as %v, want ErrWedged wrapping the injected error", wedgeErr)
+	}
+	if !l.Stats().Wedged {
+		t.Fatal("Stats does not report the wedge")
+	}
+	// Every further write fails fast with the same sticky error.
+	if _, err := l.Append(1, nil); !errors.Is(err, wal.ErrWedged) {
+		t.Fatalf("append on wedged log: %v, want ErrWedged", err)
+	}
+	if _, err := l.WriteSnapshot(nil); !errors.Is(err, wal.ErrWedged) {
+		t.Fatalf("snapshot on wedged log: %v, want ErrWedged", err)
+	}
+	_ = l.Close()
+	// The durable prefix — exactly the acknowledged records — survives.
+	rec := reopenClean(t, dir)
+	wantAcked(t, rec, acked)
+}
+
+func TestChaosGroupCommitFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	fs.FailSyncAfter = 0
+	l, _, err := wal.Open(context.Background(), wal.Options{
+		Dir:           dir,
+		FS:            fs,
+		FsyncInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// The append stages fine; the failure lands in the background group
+	// commit and must be delivered to the durability waiter.
+	seq, err := l.Append(1, chaosPayload(1))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	err = l.WaitDurable(context.Background(), seq)
+	if !errors.Is(err, wal.ErrWedged) || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("WaitDurable: %v, want ErrWedged wrapping the injected error", err)
+	}
+	_ = l.Close()
+}
+
+func TestChaosOutOfSpace(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	fs.Capacity = 120 // magic + a few frames
+	l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var acked []uint64
+	var spaceErr error
+	for i := 1; i <= 10; i++ {
+		seq, err := l.AppendDurable(context.Background(), 1, chaosPayload(i))
+		if err != nil {
+			spaceErr = err
+			break
+		}
+		acked = append(acked, seq)
+	}
+	if !errors.Is(spaceErr, ErrNoSpace) {
+		t.Fatalf("full-disk append failed with %v, want ErrNoSpace", spaceErr)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no appends fit under the capacity")
+	}
+	if l.Stats().Wedged {
+		t.Fatal("ENOSPC with a successful tail repair must not wedge the log")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec := reopenClean(t, dir)
+	if len(rec.Records) != len(acked) {
+		t.Fatalf("replayed %d record(s), want exactly the %d acknowledged", len(rec.Records), len(acked))
+	}
+	wantAcked(t, rec, acked)
+}
+
+func TestChaosTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i <= 8; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, chaosPayload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Power cut: the process vanishes (no Close) and the final record's
+	// tail never reached the platter.
+	if err := fs.Crash(5); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	rec := reopenClean(t, dir)
+	if !rec.TornTail {
+		t.Fatal("torn final record not reported")
+	}
+	if rec.LastSeq != 7 {
+		t.Fatalf("recovered through %d, want 7 (record 8 was torn)", rec.LastSeq)
+	}
+	wantAcked(t, rec, []uint64{1, 2, 3, 4, 5, 6, 7})
+	for i, r := range rec.Records {
+		if !bytes.Equal(r.Data, chaosPayload(i+1)) {
+			t.Fatalf("record %d data %q", r.Seq, r.Data)
+		}
+	}
+}
+
+func TestChaosBitFlipAtTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	frame := int64(8 + 10 + len(chaosPayload(1))) // header + record header + data
+	// Flip a bit inside record 3's frame (after the magic and two frames).
+	fs.FlipBitAfter = 8 + 2*frame + 12
+	l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, chaosPayload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The flip is invisible to the writer; replay's checksum catches it.
+	// In the final segment that is a torn tail: the intact prefix 1..2
+	// survives, the damage is truncated and reported — never silent.
+	rec := reopenClean(t, dir)
+	if !rec.TornTail {
+		t.Fatal("checksum damage at the tail not reported as torn")
+	}
+	if rec.LastSeq != 2 {
+		t.Fatalf("recovered through %d, want 2", rec.LastSeq)
+	}
+	wantAcked(t, rec, []uint64{1, 2})
+}
+
+func TestChaosBitFlipInSealedSegmentFailsTyped(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(wal.OSFS{})
+	frame := int64(8 + 10 + len(chaosPayload(1)))
+	fs.FlipBitAfter = 8 + 12 // inside record 1's frame
+	l, _, err := wal.Open(context.Background(), wal.Options{
+		Dir: dir,
+		FS:  fs,
+		// One frame per segment: record 1's segment is sealed by the
+		// rotation record 2 triggers.
+		MaxSegmentBytes: 8 + frame,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, chaosPayload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Checksum damage in sealed history cannot be a torn write: recovery
+	// must refuse with a typed error rather than silently drop record 1.
+	_, _, err = wal.Open(context.Background(), wal.Options{Dir: dir})
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("Open over sealed damage: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChaosStormSurvivesEveryFault(t *testing.T) {
+	// One combined sweep: for every fault configuration, the log either
+	// acknowledges records that then replay, or fails typed. Nothing
+	// panics, nothing is silently lost.
+	configs := []struct {
+		name string
+		set  func(fs *FaultFS)
+	}{
+		{"short writes", func(fs *FaultFS) { fs.ShortWriteEvery = 2 }},
+		{"fsync failures", func(fs *FaultFS) { fs.FailSyncAfter = 3 }},
+		{"tight capacity", func(fs *FaultFS) { fs.Capacity = 90 }},
+		{"bit flip", func(fs *FaultFS) { fs.FlipBitAfter = 40 }},
+		{"everything at once", func(fs *FaultFS) {
+			fs.ShortWriteEvery = 3
+			fs.FailSyncAfter = 5
+			fs.Capacity = 200
+			fs.FlipBitAfter = 60
+		}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := NewFaultFS(wal.OSFS{})
+			cfg.set(fs)
+			l, _, err := wal.Open(context.Background(), wal.Options{Dir: dir, FS: fs})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			var acked []uint64
+			for i := 1; i <= 15; i++ {
+				seq, err := l.AppendDurable(context.Background(), 1, chaosPayload(i))
+				if err != nil {
+					if errors.Is(err, wal.ErrWedged) {
+						break
+					}
+					continue
+				}
+				acked = append(acked, seq)
+			}
+			_ = l.Close()
+
+			// Recovery over the surviving bytes: every acknowledged record
+			// is replayed unless the at-rest bit flip destroyed it — and
+			// then it is reported (torn tail) or typed (sealed corruption),
+			// never silent.
+			l2, rec, err := wal.Open(context.Background(), wal.Options{Dir: dir})
+			if err != nil {
+				if !errors.Is(err, wal.ErrCorrupt) {
+					t.Fatalf("recovery failed untyped: %v", err)
+				}
+				return
+			}
+			defer l2.Close()
+			flipped := fs.FlipBitAfter >= 0
+			if !flipped {
+				wantAcked(t, rec, acked)
+			} else if len(rec.Records) < len(acked) && !rec.TornTail {
+				t.Fatalf("lost %d acknowledged record(s) with no torn-tail report", len(acked)-len(rec.Records))
+			}
+			for i, r := range rec.Records {
+				if r.Seq != uint64(i)+1 {
+					t.Fatalf("record %d has seq %d", i, r.Seq)
+				}
+			}
+		})
+	}
+}

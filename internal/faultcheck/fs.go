@@ -1,0 +1,218 @@
+package faultcheck
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Filesystem-level fault injection for the durability layer. FaultFS wraps
+// a wal.FS and injects, deterministically and per configuration, the
+// storage failures a write-ahead log must survive: short writes, silent
+// bit-flips, fsync failures, out-of-space errors, and — via Crash — the
+// torn final record a power cut leaves behind. The WAL chaos suite drives
+// every wal I/O path through it and asserts the crash-recovery contract:
+// acknowledged records always replay, everything else fails typed, nothing
+// panics.
+
+// ErrInjectedIO is the error injected for short writes and fsync
+// failures. Tests assert on it with errors.Is to distinguish injected
+// faults from genuine ones.
+var ErrInjectedIO = errors.New("faultcheck: injected I/O error")
+
+// ErrNoSpace is the injected out-of-space error (the harness's ENOSPC).
+var ErrNoSpace = errors.New("faultcheck: injected no space left on device")
+
+// FaultFS wraps a wal.FS with deterministic fault injection. The zero
+// knobs inject nothing; configure before handing it to wal.Open. All
+// counters are FS-global, so a knob like FailSyncAfter counts syncs
+// across every file the log touches.
+type FaultFS struct {
+	// Base is the filesystem being wrapped (typically wal.OSFS over a
+	// test temp dir).
+	Base wal.FS
+
+	// ShortWriteEvery injects, on every Nth Write call, a half-length
+	// write returning ErrInjectedIO; 0 disables.
+	ShortWriteEvery int
+	// FlipBitAfter silently flips the low bit of the first byte written
+	// once this many bytes have passed through the FS — at-rest
+	// corruption the writer cannot see; negative disables.
+	FlipBitAfter int64
+	// FailSyncAfter makes every Sync past the first N fail with
+	// ErrInjectedIO; negative disables, 0 fails the first Sync.
+	FailSyncAfter int
+	// Capacity bounds the total bytes writable through the FS; writes
+	// past it deliver a prefix and return ErrNoSpace, like a full disk;
+	// 0 disables.
+	Capacity int64
+
+	mu       sync.Mutex
+	writes   int
+	syncs    int
+	written  int64
+	flipped  bool
+	lastPath string           // most recently written file, for Crash
+	sizes    map[string]int64 // bytes on disk per created path, for Crash
+}
+
+// NewFaultFS wraps base with all faults disabled (FlipBitAfter and
+// FailSyncAfter are set to their -1 "never" values).
+func NewFaultFS(base wal.FS) *FaultFS {
+	return &FaultFS{Base: base, FlipBitAfter: -1, FailSyncAfter: -1}
+}
+
+// Crash simulates a power cut with a torn final record: it truncates the
+// most recently written file by tearBytes, discarding its tail the way a
+// partially persisted write does. Call it after abandoning the Log (a
+// crashed process runs no Close), then re-open the directory to exercise
+// recovery.
+func (f *FaultFS) Crash(tearBytes int64) error {
+	f.mu.Lock()
+	path, size := f.lastPath, f.sizes[f.lastPath]
+	f.mu.Unlock()
+	if path == "" {
+		return fmt.Errorf("faultcheck: no file written yet: %w", ErrInjectedIO)
+	}
+	keep := size - tearBytes
+	if keep < 0 {
+		keep = 0
+	}
+	return f.Base.Truncate(path, keep)
+}
+
+// MkdirAll implements wal.FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.Base.MkdirAll(dir) }
+
+// ReadDir implements wal.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Base.ReadDir(dir) }
+
+// Create implements wal.FS, returning a fault-injecting file handle.
+func (f *FaultFS) Create(path string) (wal.File, error) {
+	file, err := f.Base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.sizes == nil {
+		f.sizes = make(map[string]int64)
+	}
+	f.sizes[path] = 0
+	f.lastPath = path
+	f.mu.Unlock()
+	return &faultFile{fs: f, path: path, file: file}, nil
+}
+
+// Open implements wal.FS; reads are not perturbed (the chaos suite
+// corrupts at-rest bytes via FlipBitAfter and Crash instead).
+func (f *FaultFS) Open(path string) (wal.File, error) { return f.Base.Open(path) }
+
+// Rename implements wal.FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	err := f.Base.Rename(oldPath, newPath)
+	if err == nil {
+		f.mu.Lock()
+		if size, ok := f.sizes[oldPath]; ok {
+			f.sizes[newPath] = size
+			delete(f.sizes, oldPath)
+		}
+		if f.lastPath == oldPath {
+			f.lastPath = newPath
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Remove implements wal.FS.
+func (f *FaultFS) Remove(path string) error { return f.Base.Remove(path) }
+
+// Truncate implements wal.FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	err := f.Base.Truncate(path, size)
+	if err == nil {
+		f.mu.Lock()
+		if cur, ok := f.sizes[path]; ok && cur > size {
+			f.sizes[path] = size
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// faultFile injects the configured write and sync faults for one file.
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	file wal.File
+}
+
+// Read implements wal.File.
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.file.Read(p) }
+
+// Close implements wal.File.
+func (ff *faultFile) Close() error { return ff.file.Close() }
+
+// Write implements wal.File with the configured short-write, bit-flip and
+// capacity faults.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	f.writes++
+	limit := len(p)
+	var injected error
+	if f.ShortWriteEvery > 0 && f.writes%f.ShortWriteEvery == 0 && limit > 1 {
+		limit /= 2
+		injected = ErrInjectedIO
+	}
+	if f.Capacity > 0 && f.written+int64(limit) > f.Capacity {
+		limit = int(f.Capacity - f.written)
+		if limit < 0 {
+			limit = 0
+		}
+		injected = ErrNoSpace
+	}
+	data := p[:limit]
+	if f.FlipBitAfter >= 0 && !f.flipped && f.written+int64(limit) > f.FlipBitAfter {
+		at := f.FlipBitAfter - f.written
+		if at < 0 {
+			at = 0
+		}
+		corrupted := append([]byte(nil), data...)
+		corrupted[at] ^= 0x01
+		data = corrupted
+		f.flipped = true
+	}
+	f.mu.Unlock()
+
+	n, err := ff.file.Write(data)
+
+	f.mu.Lock()
+	f.written += int64(n)
+	f.sizes[ff.path] += int64(n)
+	f.lastPath = ff.path
+	f.mu.Unlock()
+	if err == nil {
+		err = injected
+	}
+	if err != nil {
+		return n, fmt.Errorf("faultcheck: write to %s: %w", ff.path, err)
+	}
+	return n, nil
+}
+
+// Sync implements wal.File with the configured fsync fault.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	n := f.syncs
+	f.syncs++
+	fail := f.FailSyncAfter >= 0 && n >= f.FailSyncAfter
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faultcheck: fsync of %s: %w", ff.path, ErrInjectedIO)
+	}
+	return ff.file.Sync()
+}

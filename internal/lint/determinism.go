@@ -23,6 +23,10 @@ var determinismCallPackages = map[string]bool{
 	// so it takes the same discipline: all time flows through an injected
 	// clock.Func.
 	"repro/internal/serve": true,
+	// The journal decides truncation points and replay outcomes; a wall
+	// clock or ambient env read there would make crash recovery depend on
+	// when (or where) the process restarted.
+	"repro/internal/wal": true,
 }
 
 // determinismMapPackages additionally ban order-sensitive accumulation over
@@ -42,6 +46,10 @@ var determinismMapPackages = map[string]bool{
 	// serve's /stats output lists breaker classes built from a map; the
 	// wire format must not leak map iteration order.
 	"repro/internal/serve": true,
+	// Replay applies records in seq order and equal states must produce
+	// identical segment bytes; map iteration must not order anything the
+	// journal writes or restores.
+	"repro/internal/wal": true,
 }
 
 // Determinism returns the analyzer enforcing seeded, injected-ambient

@@ -15,13 +15,25 @@ import (
 //   - errors.New inside a function body creates a stringly-typed sentinel
 //     invisible to the taxonomy — the package-level sentinels in errors.go
 //     are the only legal errors.New sites.
+//
+// The WAL takes the same discipline: crash recovery branches on the
+// wal.Err* sentinels (a typed ErrCorrupt is the contract that keeps a
+// damaged journal from being mistaken for a torn tail), so every error it
+// constructs must stay classifiable.
 func ErrWrap() *Analyzer {
 	return &Analyzer{
 		Name:    "errwrap",
 		Doc:     "public-API errors must wrap the errors.go taxonomy (%w); no ad-hoc sentinels",
-		Applies: func(pkgPath string) bool { return pkgPath == "repro" },
+		Applies: func(pkgPath string) bool { return errWrapPackages[pkgPath] },
 		Run:     runErrWrap,
 	}
+}
+
+// errWrapPackages are the packages whose error values are contract: the
+// public er API and the journal whose sentinels gate recovery decisions.
+var errWrapPackages = map[string]bool{
+	"repro":              true,
+	"repro/internal/wal": true,
 }
 
 func runErrWrap(p *Package) []Finding {

@@ -20,6 +20,9 @@ var guardLoopPackages = map[string]bool{
 	// The staged engine owns the blocking degradation loop and drives the
 	// fusion rounds; its loops must poll the run's checkpoint.
 	"repro/internal/engine": true,
+	// WAL replay walks every frame of every segment; recovery of a large
+	// journal must stay cancellable through the same checkpoint contract.
+	"repro/internal/wal": true,
 }
 
 // GuardLoop returns the analyzer enforcing the PR-1 cancellation contract:

@@ -15,6 +15,10 @@ var optZeroPackages = map[string]bool{
 	"repro":                true,
 	"repro/internal/core":  true,
 	"repro/internal/serve": true,
+	// wal.Options is configured from serve.Options field by field; its
+	// zero values (fsync-per-append, default segment size) are the safety
+	// defaults and must stay documented.
+	"repro/internal/wal": true,
 }
 
 // zeroDocPattern recognizes a documented zero-value behavior. It accepts

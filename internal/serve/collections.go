@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	er "repro"
+	"repro/internal/wal"
+)
+
+// Durable collections: named record corpora mutated over HTTP and
+// journaled through the WAL before acknowledgment. Every mutation is
+// validated against in-memory state, appended to the log, applied, and
+// acknowledged only once its covering fsync returned — so a SIGKILL at
+// any point loses nothing a client was told succeeded. Resolution over a
+// collection snapshots its records into an er.Dataset and rides the
+// existing admission/worker/breaker path; the full corpus is re-resolved
+// on every query (incremental re-fusion is out of scope).
+
+// Collection-mutation errors, mapped onto 404/409 by the handlers.
+var (
+	// ErrCollectionExists rejects creating a name that is already taken.
+	ErrCollectionExists = errors.New("serve: collection already exists")
+	// ErrCollectionNotFound rejects operations on an unknown collection.
+	ErrCollectionNotFound = errors.New("serve: collection not found")
+	// ErrRecordNotFound rejects deleting an unknown record.
+	ErrRecordNotFound = errors.New("serve: record not found")
+	// ErrRecovering rejects collection operations while the WAL replay
+	// that rebuilds them is still running (or has failed).
+	ErrRecovering = errors.New("serve: collections are recovering")
+)
+
+// WAL record types for collection mutations. The type byte lives outside
+// the JSON payload so replay can dispatch without sniffing.
+const (
+	mutCreate byte = 1
+	mutDrop   byte = 2
+	mutUpsert byte = 3
+	mutDelete byte = 4
+)
+
+// mutation is the journaled form of one collection change; fields beyond
+// Collection are populated per type.
+type mutation struct {
+	Collection string `json:"collection"`
+	ID         string `json:"id,omitempty"`
+	Entity     string `json:"entity,omitempty"`
+	Source     int    `json:"source,omitempty"`
+	Text       string `json:"text,omitempty"`
+}
+
+// colRecord is one stored record: the er.Record fields, keyed by the
+// client-assigned ID.
+type colRecord struct {
+	Entity string `json:"entity,omitempty"`
+	Source int    `json:"source,omitempty"`
+	Text   string `json:"text"`
+}
+
+// colStore is the in-memory state the WAL makes durable: collections of
+// records. It is mutated only through checkLocked+applyLocked (live path)
+// and apply (replay path), so journal order and state order always agree.
+type colStore struct {
+	mu   sync.RWMutex
+	cols map[string]map[string]colRecord
+}
+
+func newColStore() *colStore {
+	return &colStore{cols: make(map[string]map[string]colRecord)}
+}
+
+// checkLocked validates a mutation against current state without applying
+// it. The live mutation path runs check → journal → apply under one lock
+// hold, so anything the journal records is guaranteed to apply cleanly —
+// on the live path and during replay alike.
+func (c *colStore) checkLocked(typ byte, m mutation) error {
+	switch typ {
+	case mutCreate:
+		if _, ok := c.cols[m.Collection]; ok {
+			return fmt.Errorf("%w: %q", ErrCollectionExists, m.Collection)
+		}
+	case mutDrop:
+		if _, ok := c.cols[m.Collection]; !ok {
+			return fmt.Errorf("%w: %q", ErrCollectionNotFound, m.Collection)
+		}
+	case mutUpsert:
+		if _, ok := c.cols[m.Collection]; !ok {
+			return fmt.Errorf("%w: %q", ErrCollectionNotFound, m.Collection)
+		}
+	case mutDelete:
+		col, ok := c.cols[m.Collection]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrCollectionNotFound, m.Collection)
+		}
+		if _, ok := col[m.ID]; !ok {
+			return fmt.Errorf("%w: %q in %q", ErrRecordNotFound, m.ID, m.Collection)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mutation type %d", wal.ErrCorrupt, typ)
+	}
+	return nil
+}
+
+// applyLocked applies a checked mutation. It cannot fail: checkLocked ran
+// under the same lock hold.
+func (c *colStore) applyLocked(typ byte, m mutation) {
+	switch typ {
+	case mutCreate:
+		c.cols[m.Collection] = make(map[string]colRecord)
+	case mutDrop:
+		delete(c.cols, m.Collection)
+	case mutUpsert:
+		c.cols[m.Collection][m.ID] = colRecord{Entity: m.Entity, Source: m.Source, Text: m.Text}
+	case mutDelete:
+		delete(c.cols[m.Collection], m.ID)
+	}
+}
+
+// apply replays one journaled mutation during recovery.
+func (c *colStore) apply(rec wal.Record) error {
+	var m mutation
+	if err := json.Unmarshal(rec.Data, &m); err != nil {
+		return fmt.Errorf("%w: record %d has an undecodable payload: %w", wal.ErrCorrupt, rec.Seq, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkLocked(rec.Type, m); err != nil {
+		return fmt.Errorf("record %d does not apply: %w", rec.Seq, err)
+	}
+	c.applyLocked(rec.Type, m)
+	return nil
+}
+
+// snapshotState is the on-disk snapshot payload. encoding/json writes map
+// keys in sorted order, so equal states produce identical snapshots.
+type snapshotState struct {
+	Collections map[string]map[string]colRecord `json:"collections"`
+}
+
+// snapshotJSON serializes the whole store for wal.WriteSnapshot.
+func (c *colStore) snapshotJSON() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	data, err := json.Marshal(snapshotState{Collections: c.cols})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding collections snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// restoreJSON replaces the store's state with a decoded snapshot.
+func (c *colStore) restoreJSON(data []byte) error {
+	var st snapshotState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: undecodable snapshot payload: %w", wal.ErrCorrupt, err)
+	}
+	if st.Collections == nil {
+		st.Collections = make(map[string]map[string]colRecord)
+	}
+	for name, col := range st.Collections {
+		if col == nil {
+			st.Collections[name] = make(map[string]colRecord)
+		}
+	}
+	c.mu.Lock()
+	c.cols = st.Collections
+	c.mu.Unlock()
+	return nil
+}
+
+// counts reports the number of collections and total records.
+func (c *colStore) counts() (collections, records int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, col := range c.cols {
+		records += len(col)
+	}
+	return len(c.cols), records
+}
+
+// dataset snapshots a collection into an er.Dataset, records ordered by
+// ID so resolution input — and therefore output — is deterministic for a
+// given collection state.
+func (c *colStore) dataset(name string) (*er.Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	col, ok := c.cols[name]
+	if !ok {
+		return nil, false
+	}
+	ids := make([]string, 0, len(col))
+	for id := range col {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	records := make([]er.Record, len(ids))
+	for i, id := range ids {
+		r := col[id]
+		records[i] = er.Record{Text: r.Text, Source: r.Source, Entity: r.Entity}
+	}
+	return er.NewDataset("collection:"+name, records), true
+}
+
+// list reports every collection name with its record count, sorted by
+// name.
+func (c *colStore) list() []collectionInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.cols))
+	for name := range c.cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]collectionInfo, len(names))
+	for i, name := range names {
+		out[i] = collectionInfo{Name: name, Records: len(c.cols[name])}
+	}
+	return out
+}
+
+// get reports one collection's records sorted by ID.
+func (c *colStore) get(name string) ([]recordInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	col, ok := c.cols[name]
+	if !ok {
+		return nil, false
+	}
+	ids := make([]string, 0, len(col))
+	for id := range col {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]recordInfo, len(ids))
+	for i, id := range ids {
+		r := col[id]
+		out[i] = recordInfo{ID: id, Entity: r.Entity, Source: r.Source, Text: r.Text}
+	}
+	return out, true
+}
+
+// collectionInfo is the wire form of one collection in GET /collections.
+type collectionInfo struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+}
+
+// recordInfo is the wire form of one record in GET /collections/{name}.
+type recordInfo struct {
+	ID     string `json:"id"`
+	Entity string `json:"entity,omitempty"`
+	Source int    `json:"source,omitempty"`
+	Text   string `json:"text"`
+}
+
+// validateCollectionName bounds the namespace: names appear in URLs and
+// log lines, so keep them short and unambiguous.
+func validateCollectionName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("%w: collection name must be 1..128 characters", er.ErrInvalidOptions)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("%w: collection name may only contain letters, digits, '-', '_', '.'", er.ErrInvalidOptions)
+		}
+	}
+	return nil
+}
+
+func validateRecordID(id string) error {
+	if id == "" || len(id) > 256 {
+		return fmt.Errorf("%w: record id must be 1..256 bytes", er.ErrInvalidOptions)
+	}
+	return nil
+}
+
+// mutate is the single durable-write path: validate against state,
+// journal, apply — all under one store lock hold so WAL order equals
+// state order — then wait for the covering fsync outside the lock, which
+// is what lets concurrent mutations share one group commit. With no data
+// directory configured the store is ephemeral and the journal step is
+// skipped.
+func (s *Server) mutate(r *http.Request, typ byte, m mutation) *httpError {
+	if herr := s.collectionsReady(); herr != nil {
+		return herr
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return &httpError{status: http.StatusInternalServerError, kind: "internal",
+			message: fmt.Sprintf("serve: encoding mutation: %v", err)}
+	}
+	s.cols.mu.Lock()
+	if err := s.cols.checkLocked(typ, m); err != nil {
+		s.cols.mu.Unlock()
+		return mutationError(err)
+	}
+	var seq uint64
+	if s.walLog != nil {
+		seq, err = s.walLog.Append(typ, data)
+		if err != nil {
+			s.cols.mu.Unlock()
+			return &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
+				message: fmt.Sprintf("serve: journaling mutation: %v", err)}
+		}
+	}
+	s.cols.applyLocked(typ, m)
+	s.cols.mu.Unlock()
+	if s.walLog != nil {
+		if err := s.walLog.WaitDurable(r.Context(), seq); err != nil {
+			// The mutation is applied in memory but its durability is
+			// unconfirmed; the client must not treat it as acknowledged.
+			return &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
+				message: fmt.Sprintf("serve: awaiting durability: %v", err)}
+		}
+	}
+	return nil
+}
+
+// collectionsReady gates the collections API on recovery state.
+func (s *Server) collectionsReady() *httpError {
+	switch s.recoveryPhase() {
+	case recoveryFailed:
+		return &httpError{status: http.StatusServiceUnavailable, kind: "recovery_failed",
+			message: fmt.Sprintf("serve: durable state unavailable: %v", s.recoveryError())}
+	case recoveryRunning:
+		return &httpError{status: http.StatusServiceUnavailable, kind: "recovering",
+			message: ErrRecovering.Error()}
+	}
+	return nil
+}
+
+// mutationError maps a store validation failure onto its HTTP form.
+func mutationError(err error) *httpError {
+	switch {
+	case errors.Is(err, ErrCollectionExists):
+		return &httpError{status: http.StatusConflict, kind: "exists", message: err.Error()}
+	case errors.Is(err, ErrCollectionNotFound), errors.Is(err, ErrRecordNotFound):
+		return &httpError{status: http.StatusNotFound, kind: "not_found", message: err.Error()}
+	default:
+		return &httpError{status: http.StatusBadRequest, kind: "bad_request", message: err.Error()}
+	}
+}
+
+// handleCollectionCreate is POST /collections: {"name": "..."}.
+func (s *Server) handleCollectionCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.opts.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("serve: bad request body: %v", err))
+		return
+	}
+	if err := validateCollectionName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		return
+	}
+	if herr := s.mutate(r, mutCreate, mutation{Collection: req.Name}); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	writeJSON(w, http.StatusCreated, collectionInfo{Name: req.Name})
+}
+
+// handleCollectionList is GET /collections.
+func (s *Server) handleCollectionList(w http.ResponseWriter, _ *http.Request) {
+	if herr := s.collectionsReady(); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]collectionInfo{"collections": s.cols.list()})
+}
+
+// handleCollectionGet is GET /collections/{name}: the record listing.
+func (s *Server) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
+	if herr := s.collectionsReady(); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	name := r.PathValue("name")
+	records, ok := s.cols.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("%v: %q", ErrCollectionNotFound, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "records": records})
+}
+
+// handleCollectionDrop is DELETE /collections/{name}.
+func (s *Server) handleCollectionDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if herr := s.mutate(r, mutDrop, mutation{Collection: name}); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+// handleRecordPut is PUT /collections/{name}/records/{id}:
+// {"entity": "...", "source": 0, "text": "..."}.
+func (s *Server) handleRecordPut(w http.ResponseWriter, r *http.Request) {
+	name, id := r.PathValue("name"), r.PathValue("id")
+	if err := validateRecordID(id); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		return
+	}
+	var req colRecord
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.opts.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("serve: bad request body: %v", err))
+		return
+	}
+	m := mutation{Collection: name, ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text}
+	if herr := s.mutate(r, mutUpsert, m); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	writeJSON(w, http.StatusOK, recordInfo{ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text})
+}
+
+// handleRecordDelete is DELETE /collections/{name}/records/{id}.
+func (s *Server) handleRecordDelete(w http.ResponseWriter, r *http.Request) {
+	name, id := r.PathValue("name"), r.PathValue("id")
+	if herr := s.mutate(r, mutDelete, mutation{Collection: name, ID: id}); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleCollectionResolve is POST /collections/{name}/resolve: snapshot
+// the collection into a dataset and run it through the standard admission
+// → queue → worker path. The whole corpus is re-resolved every time; the
+// optional JSON body carries the same pipeline overrides as /resolve.
+func (s *Server) handleCollectionResolve(w http.ResponseWriter, r *http.Request) {
+	if herr := s.collectionsReady(); herr != nil {
+		writeError(w, herr.status, herr.kind, herr.message)
+		return
+	}
+	name := r.PathValue("name")
+	var jo *jobOptions
+	if r.ContentLength != 0 {
+		var req struct {
+			Options *jobOptions `json:"options"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.opts.MaxUploadBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("serve: bad request body: %v", err))
+			return
+		}
+		jo = req.Options
+	}
+	d, ok := s.cols.dataset(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("%v: %q", ErrCollectionNotFound, name))
+		return
+	}
+	opts := jo.apply(er.DefaultOptions())
+	class := "collection:" + name
+	if opts.UseRSS {
+		class += "+rss"
+	}
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
+		return
+	}
+	s.runResolve(w, r, d, class, opts)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// Recovery phases for the durable collections state. With no DataDir the
+// server is born in recoveryNone (ephemeral collections, no journal);
+// with one, it is born in recoveryRunning and a background replay moves
+// it to recoveryReady or recoveryFailed. /readyz reports the phase so an
+// orchestrator holds traffic until the state is rebuilt.
+const (
+	recoveryNone int32 = iota
+	recoveryRunning
+	recoveryReady
+	recoveryFailed
+)
+
+// recoveryState tracks the background WAL replay and its outcome.
+type recoveryState struct {
+	phase atomic.Int32
+	// done closes when the recovery goroutine finishes (either way); nil
+	// when no recovery was started.
+	done chan struct{}
+
+	replayed         atomic.Int64
+	snapshotRestored atomic.Bool
+	tornTail         atomic.Bool
+	truncatedBytes   atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+func (s *Server) recoveryPhase() int32 { return s.recovery.phase.Load() }
+
+func (s *Server) recoveryError() error {
+	s.recovery.mu.Lock()
+	defer s.recovery.mu.Unlock()
+	return s.recovery.err
+}
+
+// startRecovery launches the background replay that rebuilds the
+// collections from Options.DataDir. It runs under baseCtx, so a drain
+// kill aborts a replay that outlives its server. The *Log is published
+// before the phase flips to ready; handlers read it only after observing
+// that phase, which is the ordering that makes the plain field safe.
+func (s *Server) startRecovery() {
+	s.recovery.done = make(chan struct{})
+	s.recovery.phase.Store(recoveryRunning)
+	o := s.opts
+	go func() {
+		defer close(s.recovery.done)
+		l, rec, err := wal.Open(s.baseCtx, wal.Options{
+			Dir:             o.DataDir,
+			FS:              o.WALFS,
+			MaxSegmentBytes: o.MaxSegmentBytes,
+			FsyncInterval:   o.FsyncInterval,
+			OnSnapshot: func(_ uint64, data []byte) error {
+				s.recovery.snapshotRestored.Store(true)
+				return s.cols.restoreJSON(data)
+			},
+			OnRecord: func(r wal.Record) error {
+				if err := s.cols.apply(r); err != nil {
+					return err
+				}
+				s.recovery.replayed.Add(1)
+				return nil
+			},
+			Logf: o.Logf,
+		})
+		if err != nil {
+			s.recovery.mu.Lock()
+			s.recovery.err = err
+			s.recovery.mu.Unlock()
+			s.recovery.phase.Store(recoveryFailed)
+			o.Logf("serve: durable-state recovery failed: %v", err)
+			return
+		}
+		s.recovery.tornTail.Store(rec.TornTail)
+		s.recovery.truncatedBytes.Store(rec.TruncatedBytes)
+		s.walLog = l
+		s.recovery.phase.Store(recoveryReady)
+		cols, records := s.cols.counts()
+		o.Logf("serve: durable state recovered: %d collection(s), %d record(s), snapshot=%v, replayed=%d, torn_tail=%v (%d byte(s) truncated)",
+			cols, records, rec.SnapshotRestored, rec.Replayed, rec.TornTail, rec.TruncatedBytes)
+	}()
+}
+
+// finishDurability runs at the tail of Shutdown, after the drain: wait
+// out the recovery goroutine, write the final snapshot (so the next
+// startup restores state without replaying the whole tail) and close the
+// log. Failures are logged, not returned — the journal on disk is already
+// sufficient for the next startup.
+func (s *Server) finishDurability() {
+	if s.recovery.done == nil {
+		return
+	}
+	<-s.recovery.done
+	if s.recoveryPhase() != recoveryReady {
+		return
+	}
+	data, err := s.cols.snapshotJSON()
+	if err != nil {
+		s.opts.Logf("serve: final snapshot skipped: %v", err)
+	} else if seq, err := s.walLog.WriteSnapshot(data); err != nil {
+		s.opts.Logf("serve: final snapshot failed: %v", err)
+	} else {
+		s.opts.Logf("serve: final snapshot written at seq %d", seq)
+	}
+	if err := s.walLog.Close(); err != nil {
+		s.opts.Logf("serve: closing journal: %v", err)
+	}
+}
+
+// recoveryPhaseName renders the phase for /readyz and /stats.
+func recoveryPhaseName(phase int32) string {
+	switch phase {
+	case recoveryRunning:
+		return "recovering"
+	case recoveryReady:
+		return "ready"
+	case recoveryFailed:
+		return "failed"
+	default:
+		return "disabled"
+	}
+}
+
+// durabilityStats snapshots the durable-state layer for /stats; nil when
+// no data directory is configured.
+func (s *Server) durabilityStats() *DurabilityStats {
+	phase := s.recoveryPhase()
+	if phase == recoveryNone {
+		return nil
+	}
+	d := &DurabilityStats{
+		Phase:            recoveryPhaseName(phase),
+		SnapshotRestored: s.recovery.snapshotRestored.Load(),
+		ReplayedRecords:  s.recovery.replayed.Load(),
+		TornTail:         s.recovery.tornTail.Load(),
+		TruncatedBytes:   s.recovery.truncatedBytes.Load(),
+	}
+	if err := s.recoveryError(); err != nil {
+		d.Error = err.Error()
+	}
+	if phase == recoveryReady {
+		w := s.walLog.Stats()
+		d.WAL = &w
+	}
+	return d
+}

@@ -18,8 +18,19 @@ import (
 //	                   replica request) and wait for its terminal state
 //	GET  /jobs/{id}  — inspect a retained job
 //	GET  /healthz    — liveness: 200 while the process serves at all
-//	GET  /readyz     — readiness: 503 once draining
+//	GET  /readyz     — readiness: 503 while draining or recovering
 //	GET  /stats      — counters, gauges, latency quantiles, breaker classes
+//
+// plus the durable collections API (journaled through the WAL when a
+// DataDir is configured):
+//
+//	POST   /collections                        — create a collection
+//	GET    /collections                        — list collections
+//	GET    /collections/{name}                 — list a collection's records
+//	DELETE /collections/{name}                 — drop a collection
+//	PUT    /collections/{name}/records/{id}    — upsert a record
+//	DELETE /collections/{name}/records/{id}    — delete a record
+//	POST   /collections/{name}/resolve         — resolve the full corpus
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /resolve", s.handleResolve)
@@ -27,6 +38,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /collections", s.handleCollectionCreate)
+	mux.HandleFunc("GET /collections", s.handleCollectionList)
+	mux.HandleFunc("GET /collections/{name}", s.handleCollectionGet)
+	mux.HandleFunc("DELETE /collections/{name}", s.handleCollectionDrop)
+	mux.HandleFunc("PUT /collections/{name}/records/{id}", s.handleRecordPut)
+	mux.HandleFunc("DELETE /collections/{name}/records/{id}", s.handleRecordDelete)
+	mux.HandleFunc("POST /collections/{name}/resolve", s.handleCollectionResolve)
 	return mux
 }
 
@@ -202,7 +220,13 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, perr.status, perr.kind, perr.message)
 		return
 	}
+	s.runResolve(w, r, d, class, opts)
+}
 
+// runResolve pushes a parsed dataset through admission (breaker →
+// draining → queue), waits for the job's terminal state and writes the
+// response. Shared by /resolve and /collections/{name}/resolve.
+func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Dataset, class string, opts er.Options) {
 	ok, probe, retryAfter := s.breaker.allow(class)
 	if !ok {
 		s.c.tripped.Add(1)
@@ -407,11 +431,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 503 once draining so load balancers stop
-// routing new work here.
+// handleReadyz is readiness: 503 while draining, while the durable state
+// is still being recovered (with replay progress, so an operator can
+// watch a long recovery converge), or permanently once recovery failed.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
+		return
+	}
+	switch s.recoveryPhase() {
+	case recoveryRunning:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":            "recovering",
+			"kind":              "recovering",
+			"replayed_records":  s.recovery.replayed.Load(),
+			"snapshot_restored": s.recovery.snapshotRestored.Load(),
+		})
+		return
+	case recoveryFailed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "recovery_failed",
+			"kind":   "recovery_failed",
+			"error":  s.recoveryError().Error(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -12,11 +12,13 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"time"
 
 	er "repro"
 	"repro/internal/clock"
+	"repro/internal/wal"
 )
 
 // Default values selected by the zero Options fields.
@@ -104,6 +106,25 @@ type Options struct {
 	// tokenization and blocking; cached stages show up in job traces with
 	// "cached". Zero selects DefaultSnapshotCache; negative disables reuse.
 	SnapshotCache int
+	// DataDir is the directory holding the durable-collections journal
+	// (write-ahead log segments and snapshots). Zero (empty) disables
+	// durability: the collections API still works, but state lives only in
+	// memory and dies with the process.
+	DataDir string
+	// FsyncInterval batches journal fsyncs (group commit): a mutation is
+	// acknowledged at most this long after it was appended. Zero selects
+	// the strictest mode — fsync on every mutation — so durability is the
+	// default and batching is the opt-in. Negative is invalid, as is any
+	// non-zero value without a DataDir; Validate rejects both.
+	FsyncInterval time.Duration
+	// MaxSegmentBytes is the journal segment size that triggers rotation.
+	// Zero selects wal.DefaultMaxSegmentBytes. Negative is invalid, as is
+	// any non-zero value without a DataDir; Validate rejects both.
+	MaxSegmentBytes int64
+	// WALFS injects the journal's filesystem. Nil selects the real one
+	// (wal.OSFS); the fault suite injects a faultcheck.FaultFS. Ignored
+	// without a DataDir.
+	WALFS wal.FS
 	// Clock injects the time source used for latency accounting and
 	// breaker transitions. Nil selects the system clock; tests inject a
 	// fake to make breaker timing deterministic.
@@ -115,6 +136,25 @@ type Options struct {
 	// Logf receives one line per lifecycle event (admission, completion,
 	// trip, drain). Nil discards logs.
 	Logf func(format string, args ...any)
+}
+
+// Validate reports the first configuration error, or nil, wrapping
+// er.ErrInvalidOptions so callers classify it with errors.Is. Only the
+// durability knobs need validation — every other field's entire range is
+// meaningful (zero selects a default, negatives select documented
+// disable semantics).
+func (o Options) Validate() error {
+	switch {
+	case o.FsyncInterval < 0:
+		return fmt.Errorf("%w: serve: FsyncInterval must be >= 0, got %s", er.ErrInvalidOptions, o.FsyncInterval)
+	case o.MaxSegmentBytes < 0:
+		return fmt.Errorf("%w: serve: MaxSegmentBytes must be >= 0, got %d", er.ErrInvalidOptions, o.MaxSegmentBytes)
+	case o.DataDir == "" && o.FsyncInterval != 0:
+		return fmt.Errorf("%w: serve: FsyncInterval requires a DataDir", er.ErrInvalidOptions)
+	case o.DataDir == "" && o.MaxSegmentBytes != 0:
+		return fmt.Errorf("%w: serve: MaxSegmentBytes requires a DataDir", er.ErrInvalidOptions)
+	}
+	return nil
 }
 
 // withDefaults returns a copy with every zero field resolved to its

@@ -31,7 +31,10 @@ func quickResult() *er.Result {
 // unblock, then close the HTTP server.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -319,7 +322,10 @@ func TestQueuedJobIsShedAfterDeadline(t *testing.T) {
 // TestDrainingRejectsNewWork proves the admission/readiness flip on
 // shutdown: healthz stays 200, readyz and new submissions go 503.
 func TestDrainingRejectsNewWork(t *testing.T) {
-	s := New(Options{Runner: chaosRunner})
+	s, err := New(Options{Runner: chaosRunner})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 

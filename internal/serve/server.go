@@ -12,6 +12,7 @@ import (
 
 	er "repro"
 	"repro/internal/guard"
+	"repro/internal/wal"
 )
 
 // ErrDraining marks work refused or canceled because the server is
@@ -43,6 +44,14 @@ type Server struct {
 	draining atomic.Bool
 	seq      atomic.Int64
 
+	// cols is the durable-collections state; walLog its journal (nil when
+	// DataDir is unset). walLog is written by the recovery goroutine
+	// before recovery.phase flips to ready and read by handlers only after
+	// they observe that phase.
+	cols     *colStore
+	walLog   *wal.Log
+	recovery recoveryState
+
 	// snapshots shares pre-matching artifacts across jobs on the same
 	// dataset (nil when Options.SnapshotCache is negative).
 	snapshots *er.SnapshotCache
@@ -57,9 +66,15 @@ type Server struct {
 	shutdownErr  error
 }
 
-// New builds a server and starts its worker pool. The caller owns the
-// lifecycle: serve HTTP through Handler and stop with Shutdown.
-func New(opts Options) *Server {
+// New validates opts, builds a server and starts its worker pool. With a
+// DataDir it also launches the background recovery that replays the
+// durable-collections journal; /readyz reports 503 until the replay
+// finishes. The caller owns the lifecycle: serve HTTP through Handler and
+// stop with Shutdown.
+func New(opts Options) (*Server, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	base, kill := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -70,6 +85,7 @@ func New(opts Options) *Server {
 		kill:        kill,
 		breaker:     newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.BreakerMaxCooldown, o.Clock),
 		jobs:        newStore(o.RetainedJobs),
+		cols:        newColStore(),
 		queueLat:    newLatencyRing(o.LatencyWindow),
 		runLat:      newLatencyRing(o.LatencyWindow),
 		totalLat:    newLatencyRing(o.LatencyWindow),
@@ -78,11 +94,14 @@ func New(opts Options) *Server {
 	if o.SnapshotCache > 0 {
 		s.snapshots = er.NewSnapshotCache(o.SnapshotCache)
 	}
+	if o.DataDir != "" {
+		s.startRecovery()
+	}
 	for i := 0; i < o.MaxConcurrency; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // httpError is an admission-path rejection: status plus machine-readable
@@ -345,6 +364,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		// Idempotent: releases baseCtx resources on the clean path too.
 		s.kill(ErrDraining)
+		// With the drain done no mutation is in flight, so the final
+		// snapshot captures a quiesced state.
+		s.finishDurability()
 		s.opts.Logf("serve: drained (complete=%v)", drained)
 	})
 	return s.shutdownErr
@@ -353,6 +375,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Stats snapshots the server's counters, gauges, latency quantiles and
 // breaker classes.
 func (s *Server) Stats() Stats {
+	colCount, recCount := s.cols.counts()
 	return Stats{
 		QueueDepth:     len(s.queue),
 		QueueCapacity:  cap(s.queue),
@@ -373,5 +396,7 @@ func (s *Server) Stats() Stats {
 		Breakers:       s.breaker.snapshot(),
 		Stages:         s.stages.snapshot(),
 		SnapshotCache:  snapshotCacheStats(s.snapshots),
+		Collections:    CollectionsStats{Collections: colCount, Records: recCount},
+		Durability:     s.durabilityStats(),
 	}
 }

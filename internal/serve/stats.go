@@ -7,6 +7,7 @@ import (
 	"time"
 
 	er "repro"
+	"repro/internal/wal"
 )
 
 // counters aggregates the server's monotonic event counts. Every request
@@ -172,6 +173,24 @@ func snapshotCacheStats(c *er.SnapshotCache) SnapshotCacheStats {
 	return SnapshotCacheStats{Enabled: true, Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
 }
 
+// CollectionsStats is the /stats view of the durable-collections store.
+type CollectionsStats struct {
+	Collections int `json:"collections"`
+	Records     int `json:"records"`
+}
+
+// DurabilityStats is the /stats view of the journal and its recovery;
+// omitted entirely when no DataDir is configured.
+type DurabilityStats struct {
+	Phase            string     `json:"phase"`
+	SnapshotRestored bool       `json:"snapshot_restored"`
+	ReplayedRecords  int64      `json:"replayed_records"`
+	TornTail         bool       `json:"torn_tail"`
+	TruncatedBytes   int64      `json:"truncated_bytes"`
+	Error            string     `json:"error,omitempty"`
+	WAL              *wal.Stats `json:"wal,omitempty"`
+}
+
 // Stats is the full /stats snapshot.
 type Stats struct {
 	QueueDepth     int                 `json:"queue_depth"`
@@ -193,4 +212,6 @@ type Stats struct {
 	Breakers       []BreakerClassStats `json:"breakers"`
 	Stages         []StageStats        `json:"stages"`
 	SnapshotCache  SnapshotCacheStats  `json:"snapshot_cache"`
+	Collections    CollectionsStats    `json:"collections"`
+	Durability     *DurabilityStats    `json:"durability,omitempty"`
 }

@@ -237,7 +237,7 @@ func TestChaosAcceptance(t *testing.T) {
 func TestShutdownDrainsInFlight(t *testing.T) {
 	before := runtime.NumGoroutine()
 	gate := make(chan struct{})
-	s := New(Options{
+	s, err := New(Options{
 		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
 			select {
 			case <-gate:
@@ -250,6 +250,9 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 		DrainBudget:      5 * time.Second,
 		BreakerThreshold: -1,
 	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 
 	results := make(chan int, 2)
@@ -291,7 +294,7 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 // that outlives the budget is canceled through its context, surfaces as a
 // 503 draining failure, and Shutdown still completes in bounded time.
 func TestDrainBudgetCancelsStragglers(t *testing.T) {
-	s := New(Options{
+	s, err := New(Options{
 		Runner: func(ctx context.Context, _ *er.Dataset, _ er.Options) (*er.Result, error) {
 			<-ctx.Done() // ignores the drain request until canceled
 			return nil, fmt.Errorf("straggler: %w", context.Cause(ctx))
@@ -301,6 +304,9 @@ func TestDrainBudgetCancelsStragglers(t *testing.T) {
 		JobTimeout:       time.Hour,
 		BreakerThreshold: -1,
 	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 

@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSealedAndFinal builds a two-segment log on disk: records 1..sealed
+// in a sealed first segment, records sealed+1..sealed+final in the final
+// segment, then closes the log. It returns the two segment paths.
+func writeSealedAndFinal(t *testing.T, dir string, sealed, final int) (sealedPath, finalPath string) {
+	t.Helper()
+	// Size the cap so exactly `sealed` records fit before rotation: each
+	// frame is frameHeaderLen+recordHeaderLen+len(payload) bytes.
+	frame := frameHeaderLen + recordHeaderLen + len(payload(1))
+	l, _, err := Open(context.Background(), Options{
+		Dir:             dir,
+		MaxSegmentBytes: int64(len(segMagic) + sealed*frame),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i <= sealed+final; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return segPath(dir, 1), segPath(dir, uint64(sealed)+1)
+}
+
+// frameStart returns the byte offset of the n-th (1-based) frame in a
+// segment file.
+func frameStart(n int) int64 {
+	frame := frameHeaderLen + recordHeaderLen + len(payload(1))
+	return int64(len(segMagic) + (n-1)*frame)
+}
+
+func mutateFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(buf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionMatrix is the torn-write/corruption matrix from the
+// crash-recovery contract: every fault either recovers the intact prefix
+// (torn tail in the final segment, reported in Recovery) or fails Open
+// with ErrCorrupt (damage to sealed history) — never a panic, never
+// silent loss. The log holds records 1..3 sealed and 4..6 final.
+func TestCorruptionMatrix(t *testing.T) {
+	type matrixCase struct {
+		name string
+		// mutate damages the on-disk log; sealedPath/finalPath are the two
+		// segment files.
+		mutate func(t *testing.T, sealedPath, finalPath string)
+		// wantLast is the highest record recovery must restore (0 means
+		// Open must fail with ErrCorrupt instead).
+		wantLast  uint64
+		wantTorn  bool
+		wantError bool
+	}
+	cases := []matrixCase{
+		{
+			name: "truncated length prefix",
+			mutate: func(t *testing.T, _, finalPath string) {
+				// Keep 3 bytes of record 6's frame header: not enough to
+				// even read the declared length.
+				mutateFile(t, finalPath, func(b []byte) []byte { return b[:frameStart(3)+3] })
+			},
+			wantLast: 5,
+			wantTorn: true,
+		},
+		{
+			name: "truncated payload",
+			mutate: func(t *testing.T, _, finalPath string) {
+				// The header of record 6 survives but half its payload is
+				// missing.
+				mutateFile(t, finalPath, func(b []byte) []byte { return b[:frameStart(3)+frameHeaderLen+5] })
+			},
+			wantLast: 5,
+			wantTorn: true,
+		},
+		{
+			name: "bad CRC on the final record",
+			mutate: func(t *testing.T, _, finalPath string) {
+				mutateFile(t, finalPath, func(b []byte) []byte {
+					b[frameStart(3)+frameHeaderLen+recordHeaderLen] ^= 0x01 // first data byte of record 6
+					return b
+				})
+			},
+			wantLast: 5,
+			wantTorn: true,
+		},
+		{
+			name: "zero-filled tail",
+			mutate: func(t *testing.T, _, finalPath string) {
+				// Preallocated-but-unwritten blocks after a crash read back
+				// as zeros; a zero length prefix is below the record header
+				// size and must be treated as torn, not decoded.
+				mutateFile(t, finalPath, func(b []byte) []byte { return append(b, make([]byte, 64)...) })
+			},
+			wantLast: 6,
+			wantTorn: true,
+		},
+		{
+			name: "bit-flip mid final segment",
+			mutate: func(t *testing.T, _, finalPath string) {
+				// Damage record 5: it and everything after it are gone, but
+				// the intact prefix 1..4 survives.
+				mutateFile(t, finalPath, func(b []byte) []byte {
+					b[frameStart(2)+frameHeaderLen+2] ^= 0x80
+					return b
+				})
+			},
+			wantLast: 4,
+			wantTorn: true,
+		},
+		{
+			name: "torn segment header",
+			mutate: func(t *testing.T, _, finalPath string) {
+				// The crash tore the magic itself: the final segment never
+				// held a durable record.
+				mutateFile(t, finalPath, func(b []byte) []byte { return b[:4] })
+			},
+			wantLast: 3,
+			wantTorn: true,
+		},
+		{
+			name: "bit-flip in a sealed segment",
+			mutate: func(t *testing.T, sealedPath, _ string) {
+				mutateFile(t, sealedPath, func(b []byte) []byte {
+					b[frameStart(2)+frameHeaderLen+2] ^= 0x01
+					return b
+				})
+			},
+			wantError: true,
+		},
+		{
+			name: "truncated sealed segment",
+			mutate: func(t *testing.T, sealedPath, _ string) {
+				mutateFile(t, sealedPath, func(b []byte) []byte { return b[:frameStart(3)+4] })
+			},
+			wantError: true,
+		},
+		{
+			name: "bad magic in a sealed segment",
+			mutate: func(t *testing.T, sealedPath, _ string) {
+				mutateFile(t, sealedPath, func(b []byte) []byte {
+					copy(b, "XXXXXXXX")
+					return b
+				})
+			},
+			wantError: true,
+		},
+		{
+			name: "missing sealed segment",
+			mutate: func(t *testing.T, sealedPath, _ string) {
+				if err := os.Remove(sealedPath); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantError: true,
+		},
+		{
+			name: "no damage",
+			mutate: func(*testing.T, string, string) {
+			},
+			wantLast: 6,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sealedPath, finalPath := writeSealedAndFinal(t, dir, 3, 3)
+			tc.mutate(t, sealedPath, finalPath)
+
+			l, rec, err := Open(context.Background(), Options{Dir: dir})
+			if tc.wantError {
+				if err == nil {
+					_ = l.Close()
+					t.Fatalf("Open succeeded on damaged history, recovered %+v", rec)
+				}
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Open: %v, want ErrCorrupt", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer l.Close()
+			if rec.LastSeq != tc.wantLast {
+				t.Fatalf("recovered through %d, want %d", rec.LastSeq, tc.wantLast)
+			}
+			if rec.TornTail != tc.wantTorn {
+				t.Fatalf("TornTail = %v, want %v (%+v)", rec.TornTail, tc.wantTorn, rec)
+			}
+			if tc.wantTorn && rec.TruncatedBytes == 0 {
+				t.Fatal("torn tail reported with zero truncated bytes")
+			}
+			// The intact prefix replays with the right payloads.
+			for i, r := range rec.Records {
+				if want := uint64(i) + 1; r.Seq != want {
+					t.Fatalf("record %d has seq %d", i, r.Seq)
+				}
+				if string(r.Data) != string(payload(int(r.Seq))) {
+					t.Fatalf("record %d data %q", r.Seq, r.Data)
+				}
+			}
+			// The log stays writable and continues the sequence.
+			seq, err := l.AppendDurable(context.Background(), 1, []byte("after"))
+			if err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if seq != tc.wantLast+1 {
+				t.Fatalf("append after recovery got seq %d, want %d", seq, tc.wantLast+1)
+			}
+		})
+	}
+}
+
+// TestWrongSequenceIsCorruptEvenAtTail: a frame whose checksum verifies
+// but whose sequence breaks the chain cannot be a torn write, so it is
+// ErrCorrupt even in the final segment.
+func TestWrongSequenceIsCorruptEvenAtTail(t *testing.T) {
+	dir := t.TempDir()
+	buf := []byte(segMagic)
+	buf = appendFrame(buf, 1, 1, []byte("one"))
+	buf = appendFrame(buf, 3, 1, []byte("three")) // record 2 is missing
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.log"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(context.Background(), Options{Dir: dir})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open: %v, want ErrCorrupt", err)
+	}
+}

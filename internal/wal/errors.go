@@ -1,0 +1,35 @@
+package wal
+
+import "errors"
+
+// The package's typed error taxonomy, mirroring the PR-2 convention of the
+// root package: every error returned by Open, Append, WaitDurable,
+// WriteSnapshot and Close wraps one of these sentinels (or a context /
+// er.ErrInvalidOptions error), so callers branch with errors.Is instead of
+// parsing messages. The crash-recovery contract is stated in terms of
+// them: replay either restores every acknowledged record or fails with an
+// error wrapping ErrCorrupt — never a panic, never silent loss.
+var (
+	// ErrCorrupt reports damage replay cannot reconcile with the
+	// acknowledged history: a bad checksum or sequence break in a sealed
+	// (fsynced) segment, a snapshot that fails its checksum, or a gap
+	// between the newest restorable snapshot and the surviving segments.
+	// Torn tails of the final segment are NOT ErrCorrupt — they are the
+	// expected residue of a crash mid-write and are truncated away.
+	ErrCorrupt = errors.New("wal: log corrupted")
+
+	// ErrClosed reports use of a log after Close.
+	ErrClosed = errors.New("wal: log closed")
+
+	// ErrWedged reports that an earlier unrepairable I/O failure (a failed
+	// fsync, a failed segment rotation) has wedged the log: the durable
+	// prefix is intact, but no further writes are accepted, because the
+	// log can no longer attest what is on disk. Errors wrapping ErrWedged
+	// also wrap the original cause.
+	ErrWedged = errors.New("wal: log wedged by an earlier I/O failure")
+
+	// ErrTooLarge reports a record exceeding Options.MaxRecordBytes; the
+	// cap is what lets replay reject absurd length prefixes as corruption
+	// instead of allocating them.
+	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+)

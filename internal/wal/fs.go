@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem behavior the log needs. Production uses
+// OSFS; the fault-injection harness (internal/faultcheck.FaultFS) wraps an
+// FS to inject short writes, bit-flips, fsync failures, ENOSPC and torn
+// final records, which is how the chaos suite drives every I/O failure
+// path in this package deterministically.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names in dir in lexical order.
+	ReadDir(dir string) ([]string, error)
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes. It must work on a path with an
+	// open handle (tail repair truncates the segment being appended to).
+	Truncate(path string, size int64) error
+}
+
+// File is the open-file surface the log needs: sequential reads for
+// replay, append-mode writes for the write path, and Sync as the
+// durability barrier.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written bytes to stable storage. A record is
+	// acknowledged only after the Sync covering it returns nil.
+	Sync() error
+}
+
+// OSFS is the production FS backed by package os.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS; names come back in lexical order.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading directory: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Create implements FS. The file is opened in append mode: after a
+// failed frame write is repaired with Truncate, the next write must land
+// at the new end of file, not at the stale handle offset (which would
+// leave a zero-filled hole).
+func (OSFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating file: %w", err)
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening file: %w", err)
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/guard"
+)
+
+// Recovery reports what Open reconstructed: the snapshot it restored, how
+// many records it replayed, and whether it had to truncate a torn tail.
+// erserve surfaces these fields through /readyz and /stats.
+type Recovery struct {
+	// SnapshotSeq is the sequence number covered by the restored
+	// snapshot; 0 when no snapshot was restored.
+	SnapshotSeq uint64
+	// SnapshotData is the restored snapshot payload when
+	// Options.OnSnapshot is nil (the hook consumes it otherwise).
+	SnapshotData []byte
+	// SnapshotRestored reports whether a snapshot was found and restored.
+	SnapshotRestored bool
+	// Records holds the replayed post-snapshot records when
+	// Options.OnRecord is nil (the hook consumes them otherwise).
+	Records []Record
+	// Replayed counts the post-snapshot records replayed.
+	Replayed int
+	// LastSeq is the highest sequence number in the reconstructed log; 0
+	// for an empty log.
+	LastSeq uint64
+	// TornTail reports that the final segment ended in a torn or corrupt
+	// frame — the expected residue of a crash mid-write — which was
+	// truncated away. Acknowledged records are never inside the torn
+	// region (acknowledgment requires a covering fsync).
+	TornTail bool
+	// TruncatedBytes is the size of the truncated torn region.
+	TruncatedBytes int64
+	// Segments is the number of live segment files replay examined.
+	Segments int
+}
+
+// segmentInfo is one on-disk segment discovered by Open.
+type segmentInfo struct {
+	name  string
+	start uint64
+}
+
+// parseSeqName extracts the 16-hex-digit sequence number from names like
+// wal-<seq>.log / snap-<seq>.snap.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexPart := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open recovers the log in dir — newest restorable snapshot first, then
+// every intact record after it — and returns a Log ready for appends.
+// Torn or corrupt tails of the final segment are truncated (reported in
+// Recovery, never an error); damage anywhere else fails with an error
+// wrapping ErrCorrupt. ctx cancels a long replay via the usual guard
+// checkpoint protocol.
+func Open(ctx context.Context, opts Options) (*Log, *Recovery, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	o := opts.withDefaults()
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating data directory %s: %w", o.Dir, err)
+	}
+	names, err := o.FS.ReadDir(o.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: listing data directory %s: %w", o.Dir, err)
+	}
+
+	var segs []segmentInfo
+	var snapSeqs []uint64
+	for _, name := range names {
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Unpublished temp files are pre-crash garbage by construction
+			// (publication is the atomic rename); clear them.
+			if err := o.FS.Remove(filepath.Join(o.Dir, name)); err != nil {
+				o.Logf("wal: could not remove stale temp file %s: %v", name, err)
+			}
+		default:
+			if start, ok := parseSeqName(name, "wal-", ".log"); ok {
+				segs = append(segs, segmentInfo{name: name, start: start})
+			} else if seq, ok := parseSeqName(name, "snap-", ".snap"); ok {
+				snapSeqs = append(snapSeqs, seq)
+			} else {
+				o.Logf("wal: ignoring unrecognized file %s", name)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+
+	check := guard.FromContext(ctx)
+	rec, err := replay(o, check, segs, snapSeqs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{
+		opts:    o,
+		fs:      o.FS,
+		nextSeq: rec.LastSeq + 1,
+		durable: rec.LastSeq, // everything replayed is on disk by definition
+		closeCh: make(chan struct{}),
+		syncReq: make(chan struct{}, 1),
+	}
+	if err := l.openSegmentLocked(l.nextSeq); err != nil {
+		return nil, nil, err
+	}
+	if o.FsyncInterval > 0 {
+		l.syncerDone = make(chan struct{})
+		go l.syncer()
+	}
+	return l, rec, nil
+}
+
+// replay reconstructs state from the discovered snapshots and segments.
+// Snapshot candidates are tried newest-first; a candidate is viable only
+// when the surviving segments cover every record after it (no gap), so a
+// snapshot corrupted at rest falls back to an older one when — and only
+// when — the older history still exists.
+func replay(o Options, check *guard.Checkpoint, segs []segmentInfo, snapSeqs []uint64) (*Recovery, error) {
+	for _, snapSeq := range snapSeqs {
+		data, ok := readSnapshot(o, snapSeq)
+		if !ok {
+			continue
+		}
+		rec, err := replayChain(o, check, segs, snapSeq)
+		if err != nil || rec == nil {
+			if err != nil {
+				return nil, err
+			}
+			o.Logf("wal: snapshot %d is not covered by the surviving segments; trying older", snapSeq)
+			continue
+		}
+		rec.SnapshotSeq = snapSeq
+		rec.SnapshotRestored = true
+		if o.OnSnapshot != nil {
+			if err := o.OnSnapshot(snapSeq, data); err != nil {
+				return nil, fmt.Errorf("wal: snapshot restore rejected: %w", err)
+			}
+		} else {
+			rec.SnapshotData = data
+		}
+		if err := deliverRecords(o, rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+	// No restorable snapshot: the segment chain must reach back to the
+	// very first record.
+	rec, err := replayChain(o, check, segs, 0)
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("%w: no restorable snapshot and the segment chain does not start at record 1", ErrCorrupt)
+	}
+	if len(snapSeqs) > 0 {
+		o.Logf("wal: no snapshot restorable; replayed the full segment chain instead")
+	}
+	if err := deliverRecords(o, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// deliverRecords hands the replayed records to the OnRecord hook (which
+// then owns them) or leaves them in the Recovery.
+func deliverRecords(o Options, rec *Recovery) error {
+	if o.OnRecord == nil {
+		return nil
+	}
+	for _, r := range rec.Records {
+		if err := o.OnRecord(r); err != nil {
+			return fmt.Errorf("wal: replayed record %d rejected: %w", r.Seq, err)
+		}
+	}
+	rec.Records = nil
+	return nil
+}
+
+// readSnapshot reads and verifies snap-<seq>.snap, reporting ok=false on
+// any damage (the caller falls back to an older snapshot or the full
+// chain — a snapshot alone can always be discarded safely).
+func readSnapshot(o Options, seq uint64) ([]byte, bool) {
+	path := snapPath(o.Dir, seq)
+	buf, err := readAll(o.FS, path)
+	if err != nil {
+		o.Logf("wal: unreadable snapshot %s: %v", path, err)
+		return nil, false
+	}
+	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
+		o.Logf("wal: snapshot %s has a bad header", path)
+		return nil, false
+	}
+	frame, end, fault := decodeFrame(buf, len(snapMagic), o.MaxRecordBytes)
+	if fault != nil || end != len(buf) || frame.Seq != seq {
+		o.Logf("wal: snapshot %s failed verification", path)
+		return nil, false
+	}
+	return frame.Data, true
+}
+
+// replayChain replays every record with seq > snapSeq from the segment
+// files. It returns (nil, nil) when the surviving segments cannot cover
+// snapSeq+1 onward — a gap the caller may be able to bridge with an older
+// snapshot — and a typed error for damage no fallback can repair.
+func replayChain(o Options, check *guard.Checkpoint, segs []segmentInfo, snapSeq uint64) (*Recovery, error) {
+	replayStart := snapSeq + 1
+	// Trim segments fully superseded by the snapshot: segment i is stale
+	// when its successor already starts at or before replayStart.
+	first := 0
+	for first+1 < len(segs) && segs[first+1].start <= replayStart {
+		first++
+	}
+	chain := segs[first:]
+	if len(chain) > 0 && chain[0].start > replayStart {
+		return nil, nil // gap before the first surviving segment
+	}
+	rec := &Recovery{LastSeq: snapSeq, Segments: len(chain)}
+	expected := uint64(0) // next seq the chain must produce; 0 = take the first segment's start
+	for i, seg := range chain {
+		final := i == len(chain)-1
+		if expected == 0 {
+			expected = seg.start
+		} else if seg.start != expected {
+			return nil, fmt.Errorf("%w: segment %s starts at record %d, expected %d (missing or misordered segment)", ErrCorrupt, seg.name, seg.start, expected)
+		}
+		last, err := replaySegment(o, check, seg, final, snapSeq, rec)
+		if err != nil {
+			return nil, err
+		}
+		if last >= seg.start {
+			expected = last + 1
+		}
+		// An empty segment is legal only as the freshly-created final
+		// segment of a previous incarnation.
+		if last < seg.start && !final {
+			return nil, fmt.Errorf("%w: sealed segment %s holds no records", ErrCorrupt, seg.name)
+		}
+	}
+	if rec.LastSeq < snapSeq {
+		rec.LastSeq = snapSeq
+	}
+	return rec, nil
+}
+
+// replaySegment decodes one segment file. For the final segment a bad
+// frame is a torn tail: everything from it on is truncated and reported.
+// For sealed segments — fsynced before their successor was created — a
+// bad frame is ErrCorrupt. Returns the last sequence number the segment
+// produced (seg.start-1 when it held none).
+func replaySegment(o Options, check *guard.Checkpoint, seg segmentInfo, final bool, snapSeq uint64, rec *Recovery) (uint64, error) {
+	path := filepath.Join(o.Dir, seg.name)
+	buf, err := readAll(o.FS, path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: reading segment %s: %w", seg.name, err)
+	}
+	last := seg.start - 1
+	if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
+		if final {
+			// The header write itself was torn; the segment never held a
+			// record. Reset it to nothing.
+			return last, truncateTail(o, path, 0, int64(len(buf)), rec)
+		}
+		return 0, fmt.Errorf("%w: sealed segment %s has a bad header", ErrCorrupt, seg.name)
+	}
+	off := len(segMagic)
+	for off < len(buf) {
+		if err := check.Tick(); err != nil {
+			return 0, fmt.Errorf("wal: replay aborted: %w", err)
+		}
+		frame, next, fault := decodeFrame(buf, off, o.MaxRecordBytes)
+		if fault != nil {
+			if final {
+				o.Logf("wal: torn tail in %s at offset %d (%s); truncating %d byte(s)", seg.name, off, fault.reason, len(buf)-off)
+				return last, truncateTail(o, path, int64(off), int64(len(buf)-off), rec)
+			}
+			return 0, fmt.Errorf("%w: sealed segment %s at offset %d: %s", ErrCorrupt, seg.name, off, fault.reason)
+		}
+		want := last + 1
+		if frame.Seq != want {
+			// A verified frame with the wrong sequence cannot be a torn
+			// write — the checksum passed — so even at the tail this is
+			// logical corruption.
+			return 0, fmt.Errorf("%w: segment %s at offset %d: record %d where %d was expected", ErrCorrupt, seg.name, off, frame.Seq, want)
+		}
+		last = frame.Seq
+		if frame.Seq > snapSeq {
+			rec.Records = append(rec.Records, frame)
+			rec.Replayed++
+			rec.LastSeq = frame.Seq
+		}
+		off = next
+	}
+	return last, nil
+}
+
+// truncateTail cuts the torn region off the final segment and records it.
+func truncateTail(o Options, path string, keep, lost int64, rec *Recovery) error {
+	if err := o.FS.Truncate(path, keep); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	rec.TornTail = true
+	rec.TruncatedBytes += lost
+	return nil
+}
+
+// readAll reads a whole file through the FS abstraction.
+func readAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	return buf, nil
+}

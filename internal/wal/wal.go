@@ -1,0 +1,547 @@
+// Package wal implements the crash-safe append-only log under erserve's
+// durable collections: length-prefixed, CRC-32C-checksummed, versioned
+// records in rotating segment files, group-committed fsync with a
+// configurable flush interval, snapshot-based compaction, and a replay
+// path that tolerates — and truncates — the torn tails a crash leaves
+// behind, while refusing (with typed errors, never a panic) to silently
+// lose an acknowledged write.
+//
+// Durability contract: Append assigns a sequence number and stages the
+// record; the record is acknowledged once WaitDurable (or AppendDurable)
+// returns nil, which happens only after an fsync covering it succeeded.
+// After a crash, Open replays the newest restorable snapshot plus every
+// intact record after it. Acknowledged records are always replayed;
+// staged-but-unacknowledged records at the torn tail of the final segment
+// may be truncated away — that is the crash window the contract allows.
+// Any damage that would force silent loss of acknowledged data (checksum
+// failure in a sealed segment, a sequence break, a snapshot/segment gap)
+// fails Open with an error wrapping ErrCorrupt.
+package wal
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	er "repro"
+)
+
+// Default values selected by zero Options fields.
+const (
+	// DefaultMaxSegmentBytes is the rotation threshold selected by a zero
+	// Options.MaxSegmentBytes.
+	DefaultMaxSegmentBytes = 64 << 20
+	// DefaultMaxRecordBytes is the per-record cap selected by a zero
+	// Options.MaxRecordBytes.
+	DefaultMaxRecordBytes = 16 << 20
+)
+
+// Options configures a Log. The zero value of every field except Dir
+// selects a documented default; Dir is required.
+type Options struct {
+	// Dir is the directory holding segments and snapshots. Empty is
+	// invalid: Validate rejects it (there is no default data directory).
+	Dir string
+	// FS is the filesystem implementation. Nil selects OSFS; the fault
+	// harness injects a faultcheck.FaultFS.
+	FS FS
+	// MaxSegmentBytes is the segment size that triggers rotation. Zero
+	// selects DefaultMaxSegmentBytes; Validate rejects negative values.
+	MaxSegmentBytes int64
+	// FsyncInterval batches fsyncs: appends are group-committed, with at
+	// most this long between an append and the fsync that acknowledges
+	// it. Zero selects the strictest mode — fsync on every append —
+	// so durability is the default and batching is the opt-in; Validate
+	// rejects negative values.
+	FsyncInterval time.Duration
+	// MaxRecordBytes caps one record's data. Zero selects
+	// DefaultMaxRecordBytes; Validate rejects negative values.
+	MaxRecordBytes int
+	// OnSnapshot, when non-nil, receives the newest restorable snapshot
+	// (its covered sequence number and payload) before any record is
+	// replayed. Nil skips restore delivery; the payload is then returned
+	// in Recovery.SnapshotData instead.
+	OnSnapshot func(seq uint64, data []byte) error
+	// OnRecord, when non-nil, receives each replayed post-snapshot record
+	// in sequence order; an error aborts Open. Nil collects the records
+	// into Recovery.Records instead.
+	OnRecord func(rec Record) error
+	// Logf receives one line per recovery and compaction event. Nil
+	// discards logs.
+	Logf func(format string, args ...any)
+}
+
+// Validate reports the first configuration error, or nil, wrapping
+// er.ErrInvalidOptions per the repo convention so callers classify it
+// with errors.Is.
+func (o Options) Validate() error {
+	switch {
+	case o.Dir == "":
+		return fmt.Errorf("%w: wal: Dir must be set", er.ErrInvalidOptions)
+	case o.MaxSegmentBytes < 0:
+		return fmt.Errorf("%w: wal: MaxSegmentBytes must be >= 0, got %d", er.ErrInvalidOptions, o.MaxSegmentBytes)
+	case o.FsyncInterval < 0:
+		return fmt.Errorf("%w: wal: FsyncInterval must be >= 0, got %s", er.ErrInvalidOptions, o.FsyncInterval)
+	case o.MaxRecordBytes < 0:
+		return fmt.Errorf("%w: wal: MaxRecordBytes must be >= 0, got %d", er.ErrInvalidOptions, o.MaxRecordBytes)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero field resolved.
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.MaxSegmentBytes == 0 {
+		o.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if o.MaxRecordBytes == 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// waiter is one blocked WaitDurable call: released with nil once the log
+// has fsynced through seq, or with the wedge/close error.
+type waiter struct {
+	seq uint64
+	ch  chan error
+}
+
+// Log is an open write-ahead log. Create with Open; it is safe for
+// concurrent use.
+type Log struct {
+	opts Options
+	fs   FS
+
+	mu       sync.Mutex
+	seg      File   // current segment, open for append
+	segPath  string // path of seg
+	segStart uint64 // first sequence number of seg
+	segSize  int64  // bytes written to seg (including magic)
+	nextSeq  uint64 // sequence number the next Append will take
+	durable  uint64 // highest sequence number covered by a successful fsync
+	dirty    bool   // seg has writes not yet covered by an fsync
+	wedgeErr error  // sticky fatal error; nil while healthy
+	closed   bool
+	waiters  []waiter
+
+	syncReq    chan struct{} // nudge for the syncer (capacity 1, coalescing)
+	closeCh    chan struct{}
+	syncerDone chan struct{}
+
+	appends   atomic.Int64
+	syncs     atomic.Int64
+	rotations atomic.Int64
+	snapshots atomic.Int64
+}
+
+// Stats is a point-in-time observability snapshot of the log.
+type Stats struct {
+	NextSeq    uint64 `json:"next_seq"`
+	DurableSeq uint64 `json:"durable_seq"`
+	Appends    int64  `json:"appends"`
+	Syncs      int64  `json:"syncs"`
+	Rotations  int64  `json:"rotations"`
+	Snapshots  int64  `json:"snapshots"`
+	Wedged     bool   `json:"wedged"`
+}
+
+// Stats reports the log's counters and high-water marks.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		NextSeq:    l.nextSeq,
+		DurableSeq: l.durable,
+		Appends:    l.appends.Load(),
+		Syncs:      l.syncs.Load(),
+		Rotations:  l.rotations.Load(),
+		Snapshots:  l.snapshots.Load(),
+		Wedged:     l.wedgeErr != nil,
+	}
+}
+
+func segPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", start))
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// Append stages one record and returns its sequence number. With a zero
+// FsyncInterval the record is durable on return; otherwise it is durable
+// only once WaitDurable(seq) returns nil. A write failure is repaired by
+// truncating the partial frame (the append fails with a typed error, the
+// log stays usable); an unrepairable failure wedges the log.
+func (l *Log) Append(typ byte, data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	if len(data) > l.opts.MaxRecordBytes {
+		return 0, fmt.Errorf("%w: %d byte(s), cap %d", ErrTooLarge, len(data), l.opts.MaxRecordBytes)
+	}
+	frame := appendFrame(nil, l.nextSeq, typ, data)
+	if l.segSize > int64(len(segMagic)) && l.segSize+int64(len(frame)) > l.opts.MaxSegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.writeFrameLocked(frame); err != nil {
+		return 0, err
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.appends.Add(1)
+	if l.opts.FsyncInterval == 0 {
+		if err := l.seg.Sync(); err != nil {
+			l.wedgeLocked(fmt.Errorf("fsync of %s: %w", l.segPath, err))
+			return 0, l.wedgeErr
+		}
+		l.syncs.Add(1)
+		l.durable = seq
+		return seq, nil
+	}
+	l.dirty = true
+	select {
+	case l.syncReq <- struct{}{}:
+	default:
+	}
+	return seq, nil
+}
+
+// usableLocked reports why the log cannot accept work, or nil.
+func (l *Log) usableLocked() error {
+	switch {
+	case l.closed:
+		return fmt.Errorf("%w: log at %s", ErrClosed, l.opts.Dir)
+	case l.wedgeErr != nil:
+		return l.wedgeErr
+	}
+	return nil
+}
+
+// writeFrameLocked appends one encoded frame to the current segment. On a
+// short or failed write it truncates the partial frame back off the
+// segment so the file stays frame-aligned; if even the truncation fails,
+// the log is wedged.
+func (l *Log) writeFrameLocked(frame []byte) error {
+	n, err := l.seg.Write(frame)
+	if err == nil && n == len(frame) {
+		l.segSize += int64(n)
+		return nil
+	}
+	if err == nil {
+		err = fmt.Errorf("%w: %d of %d byte(s)", io.ErrShortWrite, n, len(frame))
+	}
+	if terr := l.fs.Truncate(l.segPath, l.segSize); terr != nil {
+		l.wedgeLocked(fmt.Errorf("write failed (%w) and tail repair failed: %w", err, terr))
+		return l.wedgeErr
+	}
+	return fmt.Errorf("wal: append write failed (segment repaired): %w", err)
+}
+
+// wedgeLocked records a fatal I/O failure and releases every waiter with
+// it. The durable prefix stays intact; all future writes fail fast.
+func (l *Log) wedgeLocked(cause error) {
+	if l.wedgeErr != nil {
+		return
+	}
+	l.wedgeErr = fmt.Errorf("%w: %w", ErrWedged, cause)
+	l.opts.Logf("wal: wedged: %v", cause)
+	l.releaseWaitersLocked(l.durable, l.wedgeErr)
+}
+
+// releaseWaitersLocked wakes waiters. Those at or below durableSeq get
+// nil; the rest get err if non-nil, or stay queued when err is nil.
+func (l *Log) releaseWaitersLocked(durableSeq uint64, err error) {
+	kept := l.waiters[:0]
+	for _, w := range l.waiters {
+		switch {
+		case w.seq <= durableSeq:
+			w.ch <- nil
+		case err != nil:
+			w.ch <- err
+		default:
+			kept = append(kept, w)
+		}
+	}
+	l.waiters = kept
+}
+
+// rotateLocked seals the current segment (fsync + close, which makes
+// every record in it durable) and opens the next one. Rotation failures
+// wedge the log: with the old segment closed and no new one open there is
+// nowhere safe to append.
+func (l *Log) rotateLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		l.wedgeLocked(fmt.Errorf("seal fsync of %s: %w", l.segPath, err))
+		return l.wedgeErr
+	}
+	l.syncs.Add(1)
+	if err := l.seg.Close(); err != nil {
+		l.wedgeLocked(fmt.Errorf("seal close of %s: %w", l.segPath, err))
+		return l.wedgeErr
+	}
+	l.dirty = false
+	if l.nextSeq > 0 {
+		l.durable = l.nextSeq - 1
+	}
+	l.releaseWaitersLocked(l.durable, nil)
+	if err := l.openSegmentLocked(l.nextSeq); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	return nil
+}
+
+// openSegmentLocked creates the segment whose first record will be start
+// and writes its magic header.
+func (l *Log) openSegmentLocked(start uint64) error {
+	path := segPath(l.opts.Dir, start)
+	f, err := l.fs.Create(path)
+	if err != nil {
+		l.seg = nil
+		l.wedgeLocked(fmt.Errorf("creating segment %s: %w", path, err))
+		return l.wedgeErr
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		_ = f.Close()
+		l.seg = nil
+		l.wedgeLocked(fmt.Errorf("writing segment header of %s: %w", path, err))
+		return l.wedgeErr
+	}
+	l.seg = f
+	l.segPath = path
+	l.segStart = start
+	l.segSize = int64(len(segMagic))
+	return nil
+}
+
+// WaitDurable blocks until every record through seq is fsynced, the log
+// wedges or closes, or ctx ends. A nil return is the acknowledgment: the
+// record survives any crash after this point.
+func (l *Log) WaitDurable(ctx context.Context, seq uint64) error {
+	l.mu.Lock()
+	if l.durable >= seq {
+		l.mu.Unlock()
+		return nil
+	}
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, waiter{seq: seq, ch: ch})
+	l.mu.Unlock()
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("wal: durability wait aborted: %w", context.Cause(ctx))
+	}
+}
+
+// AppendDurable is Append + WaitDurable: it returns only once the record
+// is acknowledged (or the append failed).
+func (l *Log) AppendDurable(ctx context.Context, typ byte, data []byte) (uint64, error) {
+	seq, err := l.Append(typ, data)
+	if err != nil {
+		return 0, err
+	}
+	return seq, l.WaitDurable(ctx, seq)
+}
+
+// syncer is the group-commit goroutine (started only when FsyncInterval
+// is positive): it fsyncs on demand, then enforces FsyncInterval of
+// spacing before the next fsync, so concurrent appends share barriers.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	timer := time.NewTimer(l.opts.FsyncInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-l.closeCh:
+			l.syncOnce()
+			return
+		case <-l.syncReq:
+		}
+		l.syncOnce()
+		timer.Reset(l.opts.FsyncInterval)
+		select {
+		case <-timer.C:
+		case <-l.closeCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			l.syncOnce()
+			return
+		}
+	}
+}
+
+// syncOnce fsyncs the current segment if it has staged writes, advancing
+// the durable mark and releasing the waiters the fsync covered.
+func (l *Log) syncOnce() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedgeErr != nil || !l.dirty || l.seg == nil {
+		return
+	}
+	target := l.nextSeq - 1
+	if err := l.seg.Sync(); err != nil {
+		l.wedgeLocked(fmt.Errorf("fsync of %s: %w", l.segPath, err))
+		return
+	}
+	l.syncs.Add(1)
+	l.dirty = false
+	l.durable = target
+	l.releaseWaitersLocked(target, nil)
+}
+
+// WriteSnapshot durably persists a caller-provided state snapshot
+// covering every record appended so far, then compacts: the current
+// segment is sealed, a fresh one is opened, and sealed segments plus
+// older snapshots are deleted. It returns the snapshot's covered
+// sequence number. A failed snapshot write leaves the log untouched and
+// usable; only the compaction that follows a durable snapshot deletes
+// anything.
+func (l *Log) WriteSnapshot(data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	// The snapshot must not claim records the log has not fsynced: seal
+	// semantics below sync the segment anyway, but the snapshot file has
+	// to be durable first, so a crash between the two never leaves a
+	// snapshot attesting state the log cannot back.
+	snapSeq := l.nextSeq - 1
+	if err := l.writeSnapshotFileLocked(snapSeq, data); err != nil {
+		return 0, err
+	}
+	l.snapshots.Add(1)
+	// Rotate so the current segment holds only post-snapshot records,
+	// then drop everything the snapshot supersedes.
+	if err := l.rotateLocked(); err != nil {
+		return snapSeq, err
+	}
+	l.compactLocked(snapSeq)
+	return snapSeq, nil
+}
+
+// writeSnapshotFileLocked writes snap-<seq>.snap via a temp file + atomic
+// rename: readers either see the whole checksummed snapshot or none.
+func (l *Log) writeSnapshotFileLocked(seq uint64, data []byte) error {
+	final := snapPath(l.opts.Dir, seq)
+	tmp := final + ".tmp"
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot %s: %w", tmp, err)
+	}
+	buf := append([]byte(snapMagic), appendFrame(nil, seq, 0, data)...)
+	cleanup := func(err error) error {
+		_ = f.Close()
+		_ = l.fs.Remove(tmp)
+		return err
+	}
+	if n, werr := f.Write(buf); werr != nil || n != len(buf) {
+		if werr == nil {
+			werr = fmt.Errorf("%w: %d of %d byte(s)", io.ErrShortWrite, n, len(buf))
+		}
+		return cleanup(fmt.Errorf("wal: writing snapshot %s: %w", tmp, werr))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("wal: fsync of snapshot %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		_ = l.fs.Remove(tmp)
+		return fmt.Errorf("wal: closing snapshot %s: %w", tmp, err)
+	}
+	if err := l.fs.Rename(tmp, final); err != nil {
+		_ = l.fs.Remove(tmp)
+		return fmt.Errorf("wal: publishing snapshot %s: %w", final, err)
+	}
+	return nil
+}
+
+// compactLocked deletes sealed segments and snapshots superseded by the
+// snapshot at snapSeq. Deletion failures are logged and left for the next
+// compaction — replay skips stale segments, so leftovers cost only disk.
+func (l *Log) compactLocked(snapSeq uint64) {
+	names, err := l.fs.ReadDir(l.opts.Dir)
+	if err != nil {
+		l.opts.Logf("wal: compaction listing failed: %v", err)
+		return
+	}
+	for _, name := range names {
+		full := filepath.Join(l.opts.Dir, name)
+		if full == l.segPath || full == snapPath(l.opts.Dir, snapSeq) {
+			continue
+		}
+		var remove bool
+		if start, ok := parseSeqName(name, "wal-", ".log"); ok {
+			remove = start <= snapSeq // sealed: every record it holds is covered
+		} else if seq, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			remove = seq < snapSeq
+		}
+		if !remove {
+			continue
+		}
+		if err := l.fs.Remove(full); err != nil {
+			l.opts.Logf("wal: compaction could not remove %s: %v", name, err)
+		} else {
+			l.opts.Logf("wal: compacted %s (superseded by snapshot %d)", name, snapSeq)
+		}
+	}
+}
+
+// Close flushes staged writes, stops the syncer and closes the current
+// segment. Records acknowledged before Close stay durable; a dirty tail
+// gets one final fsync.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.closeCh)
+	if l.syncerDone != nil {
+		<-l.syncerDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	if l.seg != nil {
+		if l.dirty && l.wedgeErr == nil {
+			if err := l.seg.Sync(); err != nil {
+				firstErr = fmt.Errorf("wal: final fsync: %w", err)
+			} else {
+				l.syncs.Add(1)
+				l.durable = l.nextSeq - 1
+				l.dirty = false
+			}
+		}
+		if err := l.seg.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: closing segment: %w", err)
+		}
+		l.seg = nil
+	}
+	l.releaseWaitersLocked(l.durable, fmt.Errorf("%w: closed before the fsync covering this record", ErrClosed))
+	return firstErr
+}

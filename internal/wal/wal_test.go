@@ -1,0 +1,534 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	er "repro"
+)
+
+// openLog opens a log in dir, failing the test on error and closing it at
+// cleanup (a double Close from a test body is a no-op).
+func openLog(t *testing.T, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, rec
+}
+
+// appendN durably appends records 1..n with deterministic payloads.
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		seq, err := l.AppendDurable(context.Background(), 1, payload(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("append %d: got seq %d", i, seq)
+		}
+	}
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+// wantRecords asserts rec holds exactly records from..to with the
+// deterministic payloads appendN wrote.
+func wantRecords(t *testing.T, rec *Recovery, from, to int) {
+	t.Helper()
+	want := to - from + 1
+	if want < 0 {
+		want = 0
+	}
+	if len(rec.Records) != want {
+		t.Fatalf("replayed %d record(s), want %d", len(rec.Records), want)
+	}
+	for i, r := range rec.Records {
+		seq := uint64(from + i)
+		if r.Seq != seq {
+			t.Fatalf("record %d: seq %d, want %d", i, r.Seq, seq)
+		}
+		if !bytes.Equal(r.Data, payload(from+i)) {
+			t.Fatalf("record %d: data %q, want %q", i, r.Data, payload(from+i))
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"valid", Options{Dir: "x"}, true},
+		{"empty dir", Options{}, false},
+		{"negative segment bytes", Options{Dir: "x", MaxSegmentBytes: -1}, false},
+		{"negative fsync interval", Options{Dir: "x", FsyncInterval: -time.Second}, false},
+		{"negative record bytes", Options{Dir: "x", MaxRecordBytes: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate accepted invalid options")
+				}
+				if !errors.Is(err, er.ErrInvalidOptions) {
+					t.Fatalf("error %v does not wrap ErrInvalidOptions", err)
+				}
+			}
+		})
+	}
+}
+
+func TestOpenRejectsInvalidOptions(t *testing.T) {
+	_, _, err := Open(context.Background(), Options{})
+	if !errors.Is(err, er.ErrInvalidOptions) {
+		t.Fatalf("Open on empty Dir: %v, want ErrInvalidOptions", err)
+	}
+}
+
+func TestEmptyLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openLog(t, Options{Dir: dir})
+	if rec.LastSeq != 0 || rec.Replayed != 0 || rec.SnapshotRestored {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec = openLog(t, Options{Dir: dir})
+	if rec.LastSeq != 0 || rec.Replayed != 0 {
+		t.Fatalf("reopened empty log recovered %+v", rec)
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 10)
+	if rec.LastSeq != 10 || rec.TornTail {
+		t.Fatalf("recovery %+v", rec)
+	}
+	// The reopened log continues the sequence.
+	seq, err := l2.AppendDurable(context.Background(), 1, payload(11))
+	if err != nil || seq != 11 {
+		t.Fatalf("append after reopen: seq %d, err %v", seq, err)
+	}
+}
+
+func TestReplayWithoutCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 5)
+	// No Close: simulate a process that vanished after its last fsync.
+	_, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 5)
+	if rec.TornTail {
+		t.Fatal("fsynced log reported a torn tail")
+	}
+	_ = l.Close()
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Frames are 8+10+11 = 29 bytes; 64-byte segments hold one frame each
+	// after the 8-byte magic.
+	l, _ := openLog(t, Options{Dir: dir, MaxSegmentBytes: 64})
+	appendN(t, l, 6)
+	if got := l.Stats().Rotations; got == 0 {
+		t.Fatal("no rotations under a 64-byte segment cap")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected multiple segments, found %d file(s)", len(names))
+	}
+	_, rec := openLog(t, Options{Dir: dir, MaxSegmentBytes: 64})
+	wantRecords(t, rec, 1, 6)
+	if rec.Segments < 3 {
+		t.Fatalf("replay examined %d segment(s), want >= 3", rec.Segments)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 4)
+	snapSeq, err := l.WriteSnapshot([]byte("state@4"))
+	if err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if snapSeq != 4 {
+		t.Fatalf("snapshot covers seq %d, want 4", snapSeq)
+	}
+	for i := 5; i <= 7; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Compaction removed the pre-snapshot segment.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "wal-0000000000000001.log" {
+			t.Fatal("compaction left the superseded first segment")
+		}
+	}
+
+	_, rec := openLog(t, Options{Dir: dir})
+	if !rec.SnapshotRestored || rec.SnapshotSeq != 4 {
+		t.Fatalf("recovery %+v: want snapshot at 4", rec)
+	}
+	if !bytes.Equal(rec.SnapshotData, []byte("state@4")) {
+		t.Fatalf("snapshot data %q", rec.SnapshotData)
+	}
+	wantRecords(t, rec, 5, 7)
+	if rec.LastSeq != 7 {
+		t.Fatalf("LastSeq %d, want 7", rec.LastSeq)
+	}
+}
+
+func TestSnapshotSupersedesOlderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 2)
+	if _, err := l.WriteSnapshot([]byte("state@2")); err != nil {
+		t.Fatalf("first snapshot: %v", err)
+	}
+	for i := 3; i <= 4; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := l.WriteSnapshot([]byte("state@4")); err != nil {
+		t.Fatalf("second snapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000002.snap")); !os.IsNotExist(err) {
+		t.Fatalf("first snapshot not compacted away: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if !rec.SnapshotRestored || rec.SnapshotSeq != 4 || rec.Replayed != 0 {
+		t.Fatalf("recovery %+v: want snapshot at 4, nothing replayed", rec)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToChain(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A bogus snapshot that verification must reject; the full chain still
+	// covers everything, so recovery falls back to it.
+	bogus := filepath.Join(dir, "snap-0000000000000002.snap")
+	if err := os.WriteFile(bogus, []byte("ERWALSN1 not a real frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if rec.SnapshotRestored {
+		t.Fatal("restored a corrupt snapshot")
+	}
+	wantRecords(t, rec, 1, 3)
+}
+
+func TestCorruptSnapshotWithCompactedChainFailsTyped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 3)
+	if _, err := l.WriteSnapshot([]byte("state@3")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Corrupt the only snapshot. Compaction already deleted the
+	// pre-snapshot segments, so nothing can cover records 1..3: Open must
+	// fail typed rather than resurrect a partial history.
+	snap := filepath.Join(dir, "snap-0000000000000003.snap")
+	buf, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0x01
+	if err := os.WriteFile(snap, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(context.Background(), Options{Dir: dir})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOnSnapshotAndOnRecordHooks(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 3)
+	if _, err := l.WriteSnapshot([]byte("state@3")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 4; i <= 5; i++ {
+		if _, err := l.AppendDurable(context.Background(), 1, payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var gotSnap []byte
+	var gotSeqs []uint64
+	_, rec := openLog(t, Options{
+		Dir: dir,
+		OnSnapshot: func(seq uint64, data []byte) error {
+			gotSnap = append([]byte(nil), data...)
+			if seq != 3 {
+				return fmt.Errorf("snapshot seq %d, want 3: %w", seq, ErrCorrupt)
+			}
+			return nil
+		},
+		OnRecord: func(r Record) error {
+			gotSeqs = append(gotSeqs, r.Seq)
+			return nil
+		},
+	})
+	if !bytes.Equal(gotSnap, []byte("state@3")) {
+		t.Fatalf("OnSnapshot got %q", gotSnap)
+	}
+	if len(gotSeqs) != 2 || gotSeqs[0] != 4 || gotSeqs[1] != 5 {
+		t.Fatalf("OnRecord got %v", gotSeqs)
+	}
+	if rec.Records != nil || rec.SnapshotData != nil {
+		t.Fatal("hooks set, but Recovery still carries the data")
+	}
+}
+
+func TestOnRecordErrorAbortsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rejectErr := errors.New("apply failed")
+	_, _, err := Open(context.Background(), Options{
+		Dir:      dir,
+		OnRecord: func(Record) error { return rejectErr },
+	})
+	if !errors.Is(err, rejectErr) {
+		t.Fatalf("Open: %v, want the hook's error", err)
+	}
+}
+
+func TestGroupCommitWaitDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir, FsyncInterval: time.Millisecond})
+	var seqs []uint64
+	for i := 1; i <= 20; i++ {
+		seq, err := l.Append(1, payload(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if err := l.WaitDurable(context.Background(), seqs[len(seqs)-1]); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	stats := l.Stats()
+	if stats.DurableSeq != 20 {
+		t.Fatalf("DurableSeq %d, want 20", stats.DurableSeq)
+	}
+	if stats.Syncs >= stats.Appends {
+		t.Fatalf("no group commit: %d sync(s) for %d append(s)", stats.Syncs, stats.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 20)
+}
+
+func TestWaitDurableContextCancel(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long interval: the first append is synced on demand, the
+	// second stays staged until Close, so its wait must honor ctx.
+	l, _ := openLog(t, Options{Dir: dir, FsyncInterval: time.Hour})
+	if _, err := l.AppendDurable(context.Background(), 1, payload(1)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	seq, err := l.Append(1, payload(2))
+	if err != nil {
+		t.Fatalf("append 2: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.WaitDurable(ctx, seq); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitDurable: %v, want deadline exceeded", err)
+	}
+	// Close flushes the staged tail; the record is still durable.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 2)
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir, MaxRecordBytes: 8})
+	if _, err := l.Append(1, make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+	if _, err := l.AppendDurable(context.Background(), 1, make([]byte, 8)); err != nil {
+		t.Fatalf("append at the cap: %v", err)
+	}
+}
+
+func TestClosedLogRejectsWork(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 1)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if _, err := l.WriteSnapshot(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteSnapshot after Close: %v, want ErrClosed", err)
+	}
+	if err := l.WaitDurable(context.Background(), 99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitDurable after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentAppendDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir, FsyncInterval: time.Millisecond})
+	const (
+		workers = 8
+		each    = 25
+	)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				data := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if _, err := l.AppendDurable(context.Background(), 1, data); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if rec.Replayed != workers*each {
+		t.Fatalf("replayed %d record(s), want %d", rec.Replayed, workers*each)
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestIgnoresForeignAndTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, name := range []string{"README", "snap-0000000000000009.snap.tmp", "wal-zz.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 2)
+	// The stale temp file was cleared; foreign files were left alone.
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000009.snap.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived recovery: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("foreign file was touched: %v", err)
+	}
+}
+
+func TestParseSeqName(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  uint64
+		ok   bool
+	}{
+		{"wal-0000000000000001.log", 1, true},
+		{"wal-00000000000000ff.log", 255, true},
+		{"wal-1.log", 0, false},
+		{"wal-000000000000000g.log", 0, false},
+		{"snap-0000000000000001.snap", 0, false}, // wrong prefix for wal-
+		{"wal-0000000000000001.log.tmp", 0, false},
+	}
+	for _, tc := range cases {
+		seq, ok := parseSeqName(tc.name, "wal-", ".log")
+		if ok != tc.ok || seq != tc.seq {
+			t.Errorf("parseSeqName(%q) = (%d, %v), want (%d, %v)", tc.name, seq, ok, tc.seq, tc.ok)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame := appendFrame(nil, 42, 7, []byte("hello"))
+	rec, next, fault := decodeFrame(frame, 0, DefaultMaxRecordBytes)
+	if fault != nil {
+		t.Fatalf("decodeFrame: %v", fault)
+	}
+	if next != len(frame) {
+		t.Fatalf("decode consumed %d of %d byte(s)", next, len(frame))
+	}
+	if rec.Seq != 42 || rec.Type != 7 || string(rec.Data) != "hello" {
+		t.Fatalf("decoded %+v", rec)
+	}
+}

@@ -38,7 +38,14 @@ go run ./cmd/erlint ./...
 echo "==> go test -race -shuffle=on"
 go test -race -shuffle=on ./...
 
-echo "==> erserve smoke (boot, resolve, drain)"
+# Named explicitly even though the full suite above already ran it: this
+# is the acceptance test for the durability contract (kill -9 a writer,
+# replay, verify every acknowledged record), and a future -run filter or
+# test-cache tweak must not be able to skip it silently.
+echo "==> crash-recovery acceptance (SIGKILL + replay)"
+go test -race -count=1 -run 'TestCrashRecoveryKill9' ./internal/faultcheck/
+
+echo "==> erserve smoke (boot, resolve, SIGKILL recovery, drain)"
 ./scripts/smoke_erserve.sh
 
 echo "All checks passed."

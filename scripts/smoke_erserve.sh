@@ -3,36 +3,55 @@
 #
 # Boots cmd/erserve on an ephemeral port, resolves a benchmark replica over
 # HTTP, checks the observability endpoints, then sends SIGTERM and requires
-# a clean graceful drain (exit code 0). Run by scripts/check.sh and CI; it
-# is the one test that exercises the real binary, real sockets and real
+# a clean graceful drain (exit code 0). A second phase boots the daemon
+# with -data-dir, builds a collection, SIGKILLs the process mid-flight and
+# requires the restarted daemon to recover every acknowledged mutation and
+# serve identical resolve results. Run by scripts/check.sh and CI; it is
+# the one test that exercises the real binary, real sockets and real
 # signals rather than httptest plumbing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+pid=""
+trap 'if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; fi; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/erserve" ./cmd/erserve
 
+# boot starts the daemon with the given extra flags and scrapes its
+# ephemeral listen address into $base. The daemon prints "erserve
+# listening on <addr>" once bound.
 out="$workdir/erserve.log"
-"$workdir/erserve" -addr 127.0.0.1:0 -quiet -drain-budget 10s >"$out" 2>&1 &
-pid=$!
-# Second trap layer: never leave the daemon running, whatever fails below.
-trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+boot() {
+    : >"$out"
+    "$workdir/erserve" -addr 127.0.0.1:0 -quiet -drain-budget 10s "$@" >"$out" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^erserve listening on //p' "$out" | head -n1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "erserve never reported its listen address:" >&2
+        cat "$out" >&2
+        exit 1
+    fi
+    base="http://$addr"
+}
 
-# The daemon prints "erserve listening on <addr>" once bound; scrape it.
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^erserve listening on //p' "$out" | head -n1)
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "erserve never reported its listen address:" >&2
-    cat "$out" >&2
+# wait_ready polls /readyz until recovery finishes (or gives up).
+wait_ready() {
+    for _ in $(seq 1 100); do
+        curl -sf "$base/readyz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "erserve never became ready:" >&2
+    curl -s "$base/readyz" >&2 || true
     exit 1
-fi
-base="http://$addr"
+}
+
+boot
 
 echo "==> erserve smoke: healthz + readyz"
 curl -sf "$base/healthz" >/dev/null
@@ -60,5 +79,73 @@ kill -TERM "$pid"
 # A clean graceful drain must exit 0; set -e turns anything else into a
 # smoke failure.
 wait "$pid"
+pid=""
+
+# --- Phase 2: durable collections survive SIGKILL -----------------------
+
+datadir="$workdir/data"
+
+echo "==> erserve smoke: durable boot (-data-dir)"
+boot -data-dir "$datadir"
+wait_ready
+
+echo "==> erserve smoke: create collection + upsert records"
+curl -sf -X POST "$base/collections" -H 'Content-Type: application/json' \
+    -d '{"name":"smoke"}' >/dev/null
+i=0
+for text in \
+    "joes pizza 123 main st new york" \
+    "joe's pizza 123 main street new york ny" \
+    "blue bottle coffee 300 webster st oakland" \
+    "blue bottle coffee co 300 webster street oakland ca" \
+    "golden gate hardware supply san francisco"; do
+    curl -sf -X PUT "$base/collections/smoke/records/r$i" \
+        -H 'Content-Type: application/json' \
+        -d "{\"text\":\"$text\"}" >/dev/null
+    i=$((i + 1))
+done
+
+before=$(curl -sf -X POST "$base/collections/smoke/resolve?pairs=1" \
+    -H 'Content-Type: application/json' -d '{"options":{"seed":7}}')
+if ! echo "$before" | grep -q '"state": "completed"'; then
+    echo "unexpected collection resolve response: $before" >&2
+    exit 1
+fi
+
+echo "==> erserve smoke: SIGKILL (no drain, no final snapshot)"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "==> erserve smoke: restart + recovery"
+boot -data-dir "$datadir"
+wait_ready
+
+records=$(curl -sf "$base/collections/smoke")
+if ! echo "$records" | grep -q '"r4"'; then
+    echo "restarted daemon lost records: $records" >&2
+    exit 1
+fi
+
+after=$(curl -sf -X POST "$base/collections/smoke/resolve?pairs=1" \
+    -H 'Content-Type: application/json' -d '{"options":{"seed":7}}')
+# Identical corpus, identical options: the resolution outcome — counts,
+# convergence, every match pair — must be identical across the crash. Only
+# the job ID and wall-clock timings legitimately differ, so drop those
+# lines and compare everything else byte for byte.
+strip() {
+    echo "$1" | grep -v '"job_id"\|_ms"'
+}
+if [ "$(strip "$before")" != "$(strip "$after")" ]; then
+    echo "resolve results differ across crash-restart:" >&2
+    echo "before: $before" >&2
+    echo "after:  $after" >&2
+    exit 1
+fi
+
+echo "==> erserve smoke: SIGTERM drain (durable)"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
 
 echo "erserve smoke passed."

@@ -44,6 +44,11 @@ type FaultFS struct {
 	// FailSyncAfter makes every Sync past the first N fail with
 	// ErrInjectedIO; negative disables, 0 fails the first Sync.
 	FailSyncAfter int
+	// FailDirSyncAfter makes every SyncDir past the first N fail with
+	// ErrInjectedIO; negative disables, 0 fails the first directory
+	// fsync. Directory fsyncs are counted separately from file fsyncs so
+	// the two fault matrices compose independently.
+	FailDirSyncAfter int
 	// Capacity bounds the total bytes writable through the FS; writes
 	// past it deliver a prefix and return ErrNoSpace, like a full disk;
 	// 0 disables.
@@ -52,16 +57,17 @@ type FaultFS struct {
 	mu       sync.Mutex
 	writes   int
 	syncs    int
+	dirSyncs int
 	written  int64
 	flipped  bool
 	lastPath string           // most recently written file, for Crash
 	sizes    map[string]int64 // bytes on disk per created path, for Crash
 }
 
-// NewFaultFS wraps base with all faults disabled (FlipBitAfter and
-// FailSyncAfter are set to their -1 "never" values).
+// NewFaultFS wraps base with all faults disabled (FlipBitAfter,
+// FailSyncAfter and FailDirSyncAfter are set to their -1 "never" values).
 func NewFaultFS(base wal.FS) *FaultFS {
-	return &FaultFS{Base: base, FlipBitAfter: -1, FailSyncAfter: -1}
+	return &FaultFS{Base: base, FlipBitAfter: -1, FailSyncAfter: -1, FailDirSyncAfter: -1}
 }
 
 // Crash simulates a power cut with a torn final record: it truncates the
@@ -128,6 +134,19 @@ func (f *FaultFS) Rename(oldPath, newPath string) error {
 
 // Remove implements wal.FS.
 func (f *FaultFS) Remove(path string) error { return f.Base.Remove(path) }
+
+// SyncDir implements wal.FS with the configured directory-fsync fault.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	n := f.dirSyncs
+	f.dirSyncs++
+	fail := f.FailDirSyncAfter >= 0 && n >= f.FailDirSyncAfter
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faultcheck: fsync of directory %s: %w", dir, ErrInjectedIO)
+	}
+	return f.Base.SyncDir(dir)
+}
 
 // Truncate implements wal.FS.
 func (f *FaultFS) Truncate(path string, size int64) error {

@@ -141,15 +141,19 @@ type snapshotState struct {
 	Collections map[string]map[string]colRecord `json:"collections"`
 }
 
-// snapshotJSON serializes the whole store for wal.WriteSnapshot.
-func (c *colStore) snapshotJSON() ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	data, err := json.Marshal(snapshotState{Collections: c.cols})
+// snapshotWithSeq serializes the whole store for wal.WriteSnapshot
+// together with the sequence number the serialization covers. Both are
+// captured under the store's read lock: the live mutation path journals
+// and applies under the write lock, so the payload and the stamp cannot
+// diverge — wal.WriteSnapshot refuses a pair that did.
+func (s *Server) snapshotWithSeq() ([]byte, uint64, error) {
+	s.cols.mu.RLock()
+	defer s.cols.mu.RUnlock()
+	data, err := json.Marshal(snapshotState{Collections: s.cols.cols})
 	if err != nil {
-		return nil, fmt.Errorf("serve: encoding collections snapshot: %w", err)
+		return nil, 0, fmt.Errorf("serve: encoding collections snapshot: %w", err)
 	}
-	return data, nil
+	return data, s.walLog.LastSeq(), nil
 }
 
 // restoreJSON replaces the store's state with a decoded snapshot.
@@ -287,9 +291,23 @@ func validateRecordID(id string) error {
 // is what lets concurrent mutations share one group commit. With no data
 // directory configured the store is ephemeral and the journal step is
 // skipped.
-func (s *Server) mutate(r *http.Request, typ byte, m mutation) *httpError {
+//
+// Mutations participate in the drain exactly like jobs: acquire an
+// in-flight slot, then re-check draining (Shutdown sets draining before
+// it starts waiting, so any slot acquired after that self-rejects here).
+// Shutdown's drain therefore waits out every in-flight mutation and
+// refuses new ones before finishDurability writes the final snapshot —
+// the snapshot can never race an acknowledged write out of the journal.
+func (s *Server) mutate(typ byte, m mutation) *httpError {
 	if herr := s.collectionsReady(); herr != nil {
 		return herr
+	}
+	release := s.inflight.Acquire()
+	defer release()
+	if s.draining.Load() {
+		s.c.unavailable.Add(1)
+		return &httpError{status: http.StatusServiceUnavailable, kind: "draining",
+			message: ErrDraining.Error()}
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -313,7 +331,12 @@ func (s *Server) mutate(r *http.Request, typ byte, m mutation) *httpError {
 	s.cols.applyLocked(typ, m)
 	s.cols.mu.Unlock()
 	if s.walLog != nil {
-		if err := s.walLog.WaitDurable(r.Context(), seq); err != nil {
+		// The wait runs under the server's lifecycle context, not the
+		// request's: the mutation is already applied and journaled, so a
+		// client that disconnects mid-wait must not abort the fsync
+		// confirmation and leave applied state whose durability nobody
+		// observed. The drain kill still bounds the wait.
+		if err := s.walLog.WaitDurable(s.baseCtx, seq); err != nil {
 			// The mutation is applied in memory but its durability is
 			// unconfirmed; the client must not treat it as acknowledged.
 			return &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
@@ -363,7 +386,7 @@ func (s *Server) handleCollectionCreate(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
 		return
 	}
-	if herr := s.mutate(r, mutCreate, mutation{Collection: req.Name}); herr != nil {
+	if herr := s.mutate(mutCreate, mutation{Collection: req.Name}); herr != nil {
 		writeError(w, herr.status, herr.kind, herr.message)
 		return
 	}
@@ -397,7 +420,7 @@ func (s *Server) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
 // handleCollectionDrop is DELETE /collections/{name}.
 func (s *Server) handleCollectionDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if herr := s.mutate(r, mutDrop, mutation{Collection: name}); herr != nil {
+	if herr := s.mutate(mutDrop, mutation{Collection: name}); herr != nil {
 		writeError(w, herr.status, herr.kind, herr.message)
 		return
 	}
@@ -420,7 +443,7 @@ func (s *Server) handleRecordPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := mutation{Collection: name, ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text}
-	if herr := s.mutate(r, mutUpsert, m); herr != nil {
+	if herr := s.mutate(mutUpsert, m); herr != nil {
 		writeError(w, herr.status, herr.kind, herr.message)
 		return
 	}
@@ -430,7 +453,7 @@ func (s *Server) handleRecordPut(w http.ResponseWriter, r *http.Request) {
 // handleRecordDelete is DELETE /collections/{name}/records/{id}.
 func (s *Server) handleRecordDelete(w http.ResponseWriter, r *http.Request) {
 	name, id := r.PathValue("name"), r.PathValue("id")
-	if herr := s.mutate(r, mutDelete, mutation{Collection: name, ID: id}); herr != nil {
+	if herr := s.mutate(mutDelete, mutation{Collection: name, ID: id}); herr != nil {
 		writeError(w, herr.status, herr.kind, herr.message)
 		return
 	}

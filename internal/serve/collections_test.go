@@ -458,3 +458,48 @@ func TestDurableMutationsSurviveInWAL(t *testing.T) {
 		t.Fatalf("replayed store = %d/%d, want 1/%d", cols, recs, n-1)
 	}
 }
+
+// TestDrainRejectsMutations pins the fix for the snapshot-vs-mutation
+// race: once Shutdown has set draining, a collection mutation arriving
+// through a still-open HTTP listener is refused with 503 instead of
+// appending past the final snapshot's covered sequence — an append there
+// would be compacted away and silently lost on the next startup.
+func TestDrainRejectsMutations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{DataDir: dir, BreakerThreshold: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	waitReady(t, s)
+	seedCollection(t, hs.URL, "shops")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The job server is drained but the HTTP server still answers — the
+	// exact window cmd/erserve has between srv.Shutdown and hs.Shutdown.
+	status, body := doJSON(t, http.MethodPut, hs.URL+"/collections/shops/records/late", `{"text":"too late"}`)
+	if status != http.StatusServiceUnavailable || body["kind"] != "draining" {
+		t.Fatalf("mutation during drain = %d (%v), want 503 draining", status, body)
+	}
+
+	// The refused mutation is nowhere: the restarted server restores the
+	// final snapshot with exactly the pre-drain corpus.
+	s2, hs2 := newTestServer(t, Options{DataDir: dir, BreakerThreshold: -1})
+	waitReady(t, s2)
+	st := getStats(t, hs2.URL)
+	if !st.Durability.SnapshotRestored || st.Durability.ReplayedRecords != 0 {
+		t.Fatalf("restart durability = %+v, want snapshot restore with no tail", st.Durability)
+	}
+	if st.Collections.Collections != 1 || st.Collections.Records != 6 {
+		t.Fatalf("restored state = %+v, want the 6 pre-drain records", st.Collections)
+	}
+	if _, ok := s2.cols.get("shops"); !ok {
+		t.Fatal("collection missing after restart")
+	}
+}

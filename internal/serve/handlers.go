@@ -433,7 +433,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is readiness: 503 while draining, while the durable state
 // is still being recovered (with replay progress, so an operator can
-// watch a long recovery converge), or permanently once recovery failed.
+// watch a long recovery converge), permanently once recovery failed, or
+// once the journal wedges — a wedged log fails every durable write, so
+// the replica must leave rotation even though reads still work.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
@@ -455,6 +457,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			"error":  s.recoveryError().Error(),
 		})
 		return
+	case recoveryReady:
+		if s.walLog.Stats().Wedged {
+			writeError(w, http.StatusServiceUnavailable, "storage_wedged",
+				"serve: collections journal is wedged; durable writes are failing")
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -32,4 +32,11 @@ var (
 	// cap is what lets replay reject absurd length prefixes as corruption
 	// instead of allocating them.
 	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+
+	// ErrSnapshotStale reports a WriteSnapshot whose coveredSeq no longer
+	// matches the log: a record was appended after the caller serialized
+	// its state. Nothing is written or deleted — accepting the snapshot
+	// would stamp it as covering a record its payload predates, and the
+	// compaction that follows would silently lose that acknowledged write.
+	ErrSnapshotStale = errors.New("wal: snapshot is stale (the log advanced past it)")
 )

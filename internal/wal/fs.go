@@ -27,6 +27,12 @@ type FS interface {
 	// Truncate cuts path to size bytes. It must work on a path with an
 	// open handle (tail repair truncates the segment being appended to).
 	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself, making entry creations,
+	// renames and removals durable. File-content fsync alone does not
+	// persist the entry: after power loss a freshly created segment or a
+	// renamed snapshot can vanish from the directory even though its
+	// bytes were synced.
+	SyncDir(dir string) error
 }
 
 // File is the open-file surface the log needs: sequential reads for
@@ -91,3 +97,20 @@ func (OSFS) Remove(path string) error { return os.Remove(path) }
 
 // Truncate implements FS.
 func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS by fsyncing an open handle on the directory.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening directory for fsync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: fsync of directory: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: closing directory after fsync: %w", cerr)
+	}
+	return nil
+}

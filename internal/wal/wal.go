@@ -178,11 +178,14 @@ func snapPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
 }
 
-// Append stages one record and returns its sequence number. With a zero
-// FsyncInterval the record is durable on return; otherwise it is durable
-// only once WaitDurable(seq) returns nil. A write failure is repaired by
-// truncating the partial frame (the append fails with a typed error, the
-// log stays usable); an unrepairable failure wedges the log.
+// Append stages one record and returns its sequence number. The record
+// is durable only once WaitDurable(seq) returns nil: with a positive
+// FsyncInterval the background syncer group-commits it, with a zero
+// interval the WaitDurable call performs the fsync itself — either way
+// Append never blocks on disk, so callers may stage under their own
+// locks and ack outside them. A write failure is repaired by truncating
+// the partial frame (the append fails with a typed error, the log stays
+// usable); an unrepairable failure wedges the log.
 func (l *Log) Append(typ byte, data []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -204,19 +207,12 @@ func (l *Log) Append(typ byte, data []byte) (uint64, error) {
 	seq := l.nextSeq
 	l.nextSeq++
 	l.appends.Add(1)
-	if l.opts.FsyncInterval == 0 {
-		if err := l.seg.Sync(); err != nil {
-			l.wedgeLocked(fmt.Errorf("fsync of %s: %w", l.segPath, err))
-			return 0, l.wedgeErr
-		}
-		l.syncs.Add(1)
-		l.durable = seq
-		return seq, nil
-	}
 	l.dirty = true
-	select {
-	case l.syncReq <- struct{}{}:
-	default:
+	if l.opts.FsyncInterval > 0 {
+		select {
+		case l.syncReq <- struct{}{}:
+		default:
+		}
 	}
 	return seq, nil
 }
@@ -307,13 +303,23 @@ func (l *Log) rotateLocked() error {
 }
 
 // openSegmentLocked creates the segment whose first record will be start
-// and writes its magic header.
+// and writes its magic header. The directory is fsynced right after the
+// create: without it a power loss can erase the entry for a freshly
+// rotated segment even though its contents were fsynced, and replay —
+// seeing no sequence gap — would silently treat the prior segment as the
+// final one.
 func (l *Log) openSegmentLocked(start uint64) error {
 	path := segPath(l.opts.Dir, start)
 	f, err := l.fs.Create(path)
 	if err != nil {
 		l.seg = nil
 		l.wedgeLocked(fmt.Errorf("creating segment %s: %w", path, err))
+		return l.wedgeErr
+	}
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		_ = f.Close()
+		l.seg = nil
+		l.wedgeLocked(fmt.Errorf("persisting directory entry of %s: %w", path, err))
 		return l.wedgeErr
 	}
 	if _, err := f.Write([]byte(segMagic)); err != nil {
@@ -331,7 +337,10 @@ func (l *Log) openSegmentLocked(start uint64) error {
 
 // WaitDurable blocks until every record through seq is fsynced, the log
 // wedges or closes, or ctx ends. A nil return is the acknowledgment: the
-// record survives any crash after this point.
+// record survives any crash after this point. With a zero FsyncInterval
+// there is no background syncer, so the waiter performs the fsync
+// itself — concurrent appends staged before it share the barrier, which
+// is group commit in the strict mode too.
 func (l *Log) WaitDurable(ctx context.Context, seq uint64) error {
 	l.mu.Lock()
 	if l.durable >= seq {
@@ -339,6 +348,11 @@ func (l *Log) WaitDurable(ctx context.Context, seq uint64) error {
 		return nil
 	}
 	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.opts.FsyncInterval == 0 {
+		err := l.syncLocked()
 		l.mu.Unlock()
 		return err
 	}
@@ -368,10 +382,13 @@ func (l *Log) AppendDurable(ctx context.Context, typ byte, data []byte) (uint64,
 // spacing before the next fsync, so concurrent appends share barriers.
 func (l *Log) syncer() {
 	defer close(l.syncerDone)
+	// No `if !timer.Stop() { <-timer.C }` drains anywhere in this loop:
+	// under Go 1.23+ timer semantics the channel is unbuffered and Stop
+	// discards the pending tick, so that idiom deadlocks. A stale tick
+	// left behind by a lost Stop race merely shortens one spacing window
+	// (an extra fsync), which is harmless.
 	timer := time.NewTimer(l.opts.FsyncInterval)
-	if !timer.Stop() {
-		<-timer.C
-	}
+	timer.Stop()
 	for {
 		select {
 		case <-l.closeCh:
@@ -384,9 +401,7 @@ func (l *Log) syncer() {
 		select {
 		case <-timer.C:
 		case <-l.closeCh:
-			if !timer.Stop() {
-				<-timer.C
-			}
+			timer.Stop()
 			l.syncOnce()
 			return
 		}
@@ -398,49 +413,77 @@ func (l *Log) syncer() {
 func (l *Log) syncOnce() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.wedgeErr != nil || !l.dirty || l.seg == nil {
-		return
+	_ = l.syncLocked() // a failure wedged the log and released the waiters
+}
+
+// syncLocked is the single fsync barrier: flush staged writes, advance
+// the durable mark, release the waiters the fsync covered. A failure
+// wedges the log (the kernel may have dropped the dirty pages; no later
+// success can prove the earlier write survived) and returns the wedge.
+func (l *Log) syncLocked() error {
+	if l.wedgeErr != nil {
+		return l.wedgeErr
+	}
+	if !l.dirty || l.seg == nil {
+		return nil
 	}
 	target := l.nextSeq - 1
 	if err := l.seg.Sync(); err != nil {
 		l.wedgeLocked(fmt.Errorf("fsync of %s: %w", l.segPath, err))
-		return
+		return l.wedgeErr
 	}
 	l.syncs.Add(1)
 	l.dirty = false
 	l.durable = target
 	l.releaseWaitersLocked(target, nil)
+	return nil
 }
 
-// WriteSnapshot durably persists a caller-provided state snapshot
-// covering every record appended so far, then compacts: the current
-// segment is sealed, a fresh one is opened, and sealed segments plus
-// older snapshots are deleted. It returns the snapshot's covered
-// sequence number. A failed snapshot write leaves the log untouched and
-// usable; only the compaction that follows a durable snapshot deletes
-// anything.
-func (l *Log) WriteSnapshot(data []byte) (uint64, error) {
+// WriteSnapshot durably persists a caller-provided state snapshot, then
+// compacts: the current segment is sealed, a fresh one is opened, and
+// sealed segments plus older snapshots are deleted. coveredSeq is the
+// highest sequence number the serialized state includes — the caller
+// captures it (see LastSeq) under the same lock that guards its state,
+// so the payload and the stamp cannot diverge. If the log has advanced
+// past coveredSeq the snapshot is refused with ErrSnapshotStale and
+// nothing is written or deleted: stamping it anyway would cover a record
+// the payload predates, and compaction would then silently lose that
+// acknowledged write. A failed snapshot write leaves the log untouched
+// and usable; only the compaction that follows a durable snapshot
+// deletes anything.
+func (l *Log) WriteSnapshot(data []byte, coveredSeq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.usableLocked(); err != nil {
-		return 0, err
+		return err
+	}
+	if snapSeq := l.nextSeq - 1; coveredSeq != snapSeq {
+		return fmt.Errorf("%w: snapshot covers seq %d, log is at %d", ErrSnapshotStale, coveredSeq, snapSeq)
 	}
 	// The snapshot must not claim records the log has not fsynced: seal
 	// semantics below sync the segment anyway, but the snapshot file has
 	// to be durable first, so a crash between the two never leaves a
 	// snapshot attesting state the log cannot back.
-	snapSeq := l.nextSeq - 1
-	if err := l.writeSnapshotFileLocked(snapSeq, data); err != nil {
-		return 0, err
+	if err := l.writeSnapshotFileLocked(coveredSeq, data); err != nil {
+		return err
 	}
 	l.snapshots.Add(1)
 	// Rotate so the current segment holds only post-snapshot records,
 	// then drop everything the snapshot supersedes.
 	if err := l.rotateLocked(); err != nil {
-		return snapSeq, err
+		return err
 	}
-	l.compactLocked(snapSeq)
-	return snapSeq, nil
+	l.compactLocked(coveredSeq)
+	return nil
+}
+
+// LastSeq reports the highest assigned sequence number (0 before any
+// append). Callers serializing state for WriteSnapshot read it under the
+// same lock that guards the state they serialize.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
 }
 
 // writeSnapshotFileLocked writes snap-<seq>.snap via a temp file + atomic
@@ -475,6 +518,12 @@ func (l *Log) writeSnapshotFileLocked(seq uint64, data []byte) error {
 		_ = l.fs.Remove(tmp)
 		return fmt.Errorf("wal: publishing snapshot %s: %w", final, err)
 	}
+	// Persist the rename itself. On failure the caller aborts before
+	// compaction, so whichever way the crash resolves the rename, the full
+	// journal still backs every acknowledged record.
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		return fmt.Errorf("wal: persisting snapshot rename of %s: %w", final, err)
+	}
 	return nil
 }
 
@@ -487,6 +536,7 @@ func (l *Log) compactLocked(snapSeq uint64) {
 		l.opts.Logf("wal: compaction listing failed: %v", err)
 		return
 	}
+	var removed int
 	for _, name := range names {
 		full := filepath.Join(l.opts.Dir, name)
 		if full == l.segPath || full == snapPath(l.opts.Dir, snapSeq) {
@@ -504,7 +554,16 @@ func (l *Log) compactLocked(snapSeq uint64) {
 		if err := l.fs.Remove(full); err != nil {
 			l.opts.Logf("wal: compaction could not remove %s: %v", name, err)
 		} else {
+			removed++
 			l.opts.Logf("wal: compacted %s (superseded by snapshot %d)", name, snapSeq)
+		}
+	}
+	// Persist the removals; a failure only resurrects already-superseded
+	// files after a crash, which replay skips and the next compaction
+	// retries.
+	if removed > 0 {
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+			l.opts.Logf("wal: compaction directory fsync failed: %v", err)
 		}
 	}
 }
@@ -529,12 +588,8 @@ func (l *Log) Close() error {
 	var firstErr error
 	if l.seg != nil {
 		if l.dirty && l.wedgeErr == nil {
-			if err := l.seg.Sync(); err != nil {
+			if err := l.syncLocked(); err != nil {
 				firstErr = fmt.Errorf("wal: final fsync: %w", err)
-			} else {
-				l.syncs.Add(1)
-				l.durable = l.nextSeq - 1
-				l.dirty = false
 			}
 		}
 		if err := l.seg.Close(); err != nil && firstErr == nil {

@@ -177,12 +177,11 @@ func TestSnapshotCompaction(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, Options{Dir: dir})
 	appendN(t, l, 4)
-	snapSeq, err := l.WriteSnapshot([]byte("state@4"))
-	if err != nil {
-		t.Fatalf("WriteSnapshot: %v", err)
+	if got := l.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq = %d, want 4", got)
 	}
-	if snapSeq != 4 {
-		t.Fatalf("snapshot covers seq %d, want 4", snapSeq)
+	if err := l.WriteSnapshot([]byte("state@4"), 4); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	for i := 5; i <= 7; i++ {
 		if _, err := l.AppendDurable(context.Background(), 1, payload(i)); err != nil {
@@ -221,7 +220,7 @@ func TestSnapshotSupersedesOlderSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, Options{Dir: dir})
 	appendN(t, l, 2)
-	if _, err := l.WriteSnapshot([]byte("state@2")); err != nil {
+	if err := l.WriteSnapshot([]byte("state@2"), 2); err != nil {
 		t.Fatalf("first snapshot: %v", err)
 	}
 	for i := 3; i <= 4; i++ {
@@ -229,7 +228,7 @@ func TestSnapshotSupersedesOlderSnapshot(t *testing.T) {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
-	if _, err := l.WriteSnapshot([]byte("state@4")); err != nil {
+	if err := l.WriteSnapshot([]byte("state@4"), 4); err != nil {
 		t.Fatalf("second snapshot: %v", err)
 	}
 	if err := l.Close(); err != nil {
@@ -268,7 +267,7 @@ func TestCorruptSnapshotWithCompactedChainFailsTyped(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, Options{Dir: dir})
 	appendN(t, l, 3)
-	if _, err := l.WriteSnapshot([]byte("state@3")); err != nil {
+	if err := l.WriteSnapshot([]byte("state@3"), 3); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	if err := l.Close(); err != nil {
@@ -296,7 +295,7 @@ func TestOnSnapshotAndOnRecordHooks(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, Options{Dir: dir})
 	appendN(t, l, 3)
-	if _, err := l.WriteSnapshot([]byte("state@3")); err != nil {
+	if err := l.WriteSnapshot([]byte("state@3"), 3); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	for i := 4; i <= 5; i++ {
@@ -428,7 +427,7 @@ func TestClosedLogRejectsWork(t *testing.T) {
 	if _, err := l.Append(1, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Append after Close: %v, want ErrClosed", err)
 	}
-	if _, err := l.WriteSnapshot(nil); !errors.Is(err, ErrClosed) {
+	if err := l.WriteSnapshot(nil, 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WriteSnapshot after Close: %v, want ErrClosed", err)
 	}
 	if err := l.WaitDurable(context.Background(), 99); !errors.Is(err, ErrClosed) {
@@ -530,5 +529,36 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if rec.Seq != 42 || rec.Type != 7 || string(rec.Data) != "hello" {
 		t.Fatalf("decoded %+v", rec)
+	}
+}
+
+// TestWriteSnapshotStaleRefused pins the coveredSeq contract: a snapshot
+// whose stamp does not match the log head is refused outright — nothing
+// written, nothing compacted — because accepting it would let compaction
+// delete records the payload does not contain.
+func TestWriteSnapshotStaleRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	appendN(t, l, 3)
+	if err := l.WriteSnapshot([]byte("state@2"), 2); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("stale snapshot: %v, want ErrSnapshotStale", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000002.snap")); !os.IsNotExist(err) {
+		t.Fatalf("refused snapshot left a file behind: %v", err)
+	}
+	// The refusal is not sticky: the log keeps accepting appends and a
+	// correctly stamped snapshot still lands.
+	if _, err := l.AppendDurable(context.Background(), 1, payload(4)); err != nil {
+		t.Fatalf("append after refused snapshot: %v", err)
+	}
+	if err := l.WriteSnapshot([]byte("state@4"), l.LastSeq()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if !rec.SnapshotRestored || rec.SnapshotSeq != 4 {
+		t.Fatalf("recovery %+v: want snapshot at 4", rec)
 	}
 }

@@ -1,11 +1,13 @@
-// Command erlint runs the repository's static-analysis suite: six
-// repo-specific analyzers that mechanically enforce the pipeline's safety,
-// determinism and cancellation invariants (see internal/lint and DESIGN.md
-// §7).
+// Command erlint runs the repository's static-analysis suite: eleven
+// repo-specific analyzers — six syntactic checks plus five flow-aware
+// concurrency and durability checks built on per-function CFGs and
+// interprocedural call summaries — that mechanically enforce the
+// pipeline's safety, determinism, cancellation and durability invariants
+// (see internal/lint and DESIGN.md §7, §12).
 //
 // Usage:
 //
-//	erlint [-json] [-enable a,b] [-disable a,b] [packages]
+//	erlint [-json] [-enable a,b] [-disable a,b] [-list] [packages]
 //
 // The package argument is either "./..." (the default: every non-test
 // package of the module) or a comma-free list of directories. erlint exits
@@ -14,8 +16,10 @@
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>   on or above the line
 //	//lint:invariant <reason>                        intentional panic asserts
+//	//lint:hotpath <reason>                          allocation-free function
 //
-// A directive without a reason is itself reported.
+// A directive without a reason is itself reported, and so is a directive
+// that suppressed nothing in a run covering its scope (stale suppression).
 package main
 
 import (
@@ -43,7 +47,7 @@ func main() {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %-34s %s\n", a.Name, a.Scope, a.Doc)
 		}
 		return
 	}

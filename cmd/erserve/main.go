@@ -93,6 +93,7 @@ func run(addr string, opts serve.Options, drainBudget time.Duration) error {
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
+	//lint:ignore goleak Serve returns when Shutdown closes the listener; the goroutine's lifetime is the server's
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)

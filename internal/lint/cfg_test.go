@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// These tests live inside the package: they pin the unexported CFG builder
+// and the lock lattice, which the fixture tests only exercise indirectly
+// through analyzer findings.
+
+// loadCFGPackage type-checks the cfg fixture package.
+func loadCFGPackage(t *testing.T) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := loader.LoadDir(filepath.Join("testdata", "src", "cfg"), "fixture/cfg")
+	if err != nil {
+		t.Fatalf("loading cfg fixture: %v", err)
+	}
+	return p
+}
+
+func findFunc(t *testing.T, p *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	t.Fatalf("function %s not found in cfg fixture", name)
+	return nil
+}
+
+// edgeStrings renders a CFG as sorted "kind#n -> kind#n" edges, numbering
+// blocks of the same kind in creation order (which is deterministic).
+func edgeStrings(c *cfg) []string {
+	names := make(map[*block]string, len(c.blocks))
+	count := make(map[string]int)
+	for _, b := range c.blocks {
+		count[b.kind]++
+		names[b] = fmt.Sprintf("%s#%d", b.kind, count[b.kind])
+	}
+	var out []string
+	for _, b := range c.blocks {
+		for _, s := range b.succs {
+			out = append(out, names[b]+" -> "+names[s])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCFGShapes(t *testing.T) {
+	p := loadCFGPackage(t)
+	cases := []struct {
+		fn       string
+		edges    []string
+		exitHeld []string
+	}{
+		{
+			fn:    "deferUnlock",
+			edges: []string{"entry#1 -> exit#1"},
+			// The deferred unlock applies at exit: clean.
+			exitHeld: nil,
+		},
+		{
+			fn: "earlyReturn",
+			edges: []string{
+				"entry#1 -> if.join#1",
+				"entry#1 -> if.then#1",
+				"if.join#1 -> exit#1",
+				"if.then#1 -> exit#1",
+			},
+			// The late return leaks the lock; the may-union keeps it.
+			exitHeld: []string{"fixture/cfg.guarded.mu"},
+		},
+		{
+			fn: "labeledLoops",
+			edges: []string{
+				"entry#1 -> range.head#1",
+				"if.join#1 -> if.join#2",
+				"if.join#1 -> if.then#2",
+				"if.join#2 -> range.head#2",
+				"if.then#1 -> range.head#1",  // continue outer
+				"if.then#2 -> range.after#1", // break outer
+				"range.after#1 -> exit#1",
+				"range.after#2 -> range.head#1",
+				"range.body#1 -> range.head#2",
+				"range.body#2 -> if.join#1",
+				"range.body#2 -> if.then#1",
+				"range.head#1 -> range.after#1",
+				"range.head#1 -> range.body#1",
+				"range.head#2 -> range.after#2",
+				"range.head#2 -> range.body#2",
+			},
+			exitHeld: nil,
+		},
+		{
+			fn: "selector",
+			edges: []string{
+				"entry#1 -> for.head#1",
+				"for.after#1 -> exit#1", // unreachable: for{} has no normal exit
+				"for.body#1 -> select.case#1",
+				"for.body#1 -> select.case#2",
+				"for.head#1 -> for.body#1",
+				"select.after#1 -> for.head#1",
+				"select.case#1 -> exit#1",
+				"select.case#2 -> exit#1",
+			},
+			exitHeld: nil,
+		},
+		{
+			fn: "typeSwitch",
+			edges: []string{
+				"entry#1 -> typeswitch.case#1",
+				"entry#1 -> typeswitch.case#2",
+				"entry#1 -> typeswitch.case#3",
+				"typeswitch.after#1 -> exit#1", // unreachable: every clause returns
+				"typeswitch.case#1 -> exit#1",
+				"typeswitch.case#2 -> exit#1",
+				"typeswitch.case#3 -> exit#1",
+			},
+			exitHeld: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fn := findFunc(t, p, tc.fn)
+			c := buildCFG(fn.Body)
+			if got := edgeStrings(c); !reflect.DeepEqual(got, tc.edges) {
+				t.Errorf("edges:\n got  %q\n want %q", got, tc.edges)
+			}
+			got := walkHeld(p, c, nil).sortedIDs()
+			if len(got) != len(tc.exitHeld) || (len(got) > 0 && !reflect.DeepEqual(got, tc.exitHeld)) {
+				t.Errorf("exit lock state: got %q, want %q", got, tc.exitHeld)
+			}
+		})
+	}
+}
+
+// TestWalkHeldVisitsPreState pins the visit contract: the callback sees the
+// locks held *before* each item runs.
+func TestWalkHeldVisitsPreState(t *testing.T) {
+	p := loadCFGPackage(t)
+	fn := findFunc(t, p, "deferUnlock")
+	c := buildCFG(fn.Body)
+	var states []int
+	walkHeld(p, c, func(item ast.Node, held heldSet) {
+		states = append(states, len(held))
+	})
+	// Item 1: the Lock call itself (nothing held yet). Item 2: the return
+	// (the lock held).
+	want := []int{0, 1}
+	if !reflect.DeepEqual(states, want) {
+		t.Errorf("per-item held counts: got %v, want %v", states, want)
+	}
+}

@@ -65,8 +65,9 @@ var determinismMapPackages = map[string]bool{
 //     later in the same function.
 func Determinism() *Analyzer {
 	return &Analyzer{
-		Name: "determinism",
-		Doc:  "kernels use seeded RNGs and injected clocks; map iteration must not feed ordered output",
+		Name:  "determinism",
+		Scope: "kernel + pipeline packages",
+		Doc:   "kernels use seeded RNGs and injected clocks; map iteration must not feed ordered output",
 		Applies: func(pkgPath string) bool {
 			return determinismCallPackages[pkgPath] || determinismMapPackages[pkgPath]
 		},

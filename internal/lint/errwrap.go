@@ -23,6 +23,7 @@ import (
 func ErrWrap() *Analyzer {
 	return &Analyzer{
 		Name:    "errwrap",
+		Scope:   "repro, internal/wal",
 		Doc:     "public-API errors must wrap the errors.go taxonomy (%w); no ad-hoc sentinels",
 		Applies: func(pkgPath string) bool { return errWrapPackages[pkgPath] },
 		Run:     runErrWrap,

@@ -28,6 +28,7 @@ import (
 func FloatGuard() *Analyzer {
 	return &Analyzer{
 		Name:    "floatguard",
+		Scope:   "internal/core",
 		Doc:     "fusion-loop float divisions need a visible zero-guard; no float equality",
 		Applies: func(pkgPath string) bool { return pkgPath == "repro/internal/core" },
 		Run:     runFloatGuard,

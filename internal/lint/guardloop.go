@@ -35,6 +35,7 @@ var guardLoopPackages = map[string]bool{
 func GuardLoop() *Analyzer {
 	return &Analyzer{
 		Name:    "guardloop",
+		Scope:   "internal/{core,blocking,baselines,engine,wal}",
 		Doc:     "nested loops in hot-path packages must poll a guard.Checkpoint",
 		Applies: func(pkgPath string) bool { return guardLoopPackages[pkgPath] },
 		Run:     runGuardLoop,

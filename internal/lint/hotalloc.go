@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotAllocPackages is the scope of the hot-path allocation analyzer: the
+// kernel packages whose inner loops dominate the fusion benchmarks.
+var hotAllocPackages = map[string]bool{
+	"repro/internal/core":     true,
+	"repro/internal/matrix":   true,
+	"repro/internal/parallel": true,
+}
+
+// HotAlloc enforces the arena discipline on functions annotated
+// //lint:hotpath: no allocation inside a loop. Composite literals, make,
+// new, append (which may grow its backing array), map writes, and
+// function literals are all flagged at loop depth ≥ 1. The AllocsPerRun
+// regression tests catch the steady-state total; this analyzer points at
+// the exact expression when one slips in, before the benchmark moves.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:    "hotalloc",
+		Doc:     "//lint:hotpath functions must not allocate in loops (composite literal, make, new, append, map write, closure)",
+		Scope:   "internal/{core,matrix,parallel}",
+		Applies: func(pkgPath string) bool { return hotAllocPackages[pkgPath] },
+		Run:     hotAllocRun,
+	}
+}
+
+func hotAllocRun(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if p.hotpathFor(fn) == nil {
+				continue
+			}
+			w := &hotWalker{p: p}
+			w.walk(fn.Body, 0)
+			out = append(out, w.out...)
+		}
+	}
+	return out
+}
+
+type hotWalker struct {
+	p   *Package
+	out []Finding
+}
+
+func (w *hotWalker) flag(n ast.Node, msg string) {
+	w.out = append(w.out, Finding{Analyzer: "hotalloc", Pos: w.p.Fset.Position(n.Pos()),
+		Message: msg + " in a loop on a //lint:hotpath function; hoist or presize outside the loop"})
+}
+
+// walk scans n tracking loop depth. A loop's condition, post statement
+// and body run once per iteration (depth+1); its init runs once. A
+// function literal resets depth for its own body — the closure's code is
+// still hot (kernels hand literals to synchronous drivers), but its
+// loops start a fresh count — while the literal itself is an allocation
+// where it appears.
+func (w *hotWalker) walk(root ast.Node, depth int) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || n == root {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			if x.Init != nil {
+				w.walk(x.Init, depth)
+			}
+			if x.Cond != nil {
+				w.walk(x.Cond, depth+1)
+			}
+			if x.Post != nil {
+				w.walk(x.Post, depth+1)
+			}
+			w.walk(x.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			w.walk(x.X, depth)
+			w.walk(x.Body, depth+1)
+			return false
+		case *ast.FuncLit:
+			if depth > 0 {
+				w.flag(x, "function literal (closure allocation)")
+			}
+			w.walk(x.Body, 0)
+			return false
+		case *ast.CompositeLit:
+			if depth > 0 {
+				w.flag(x, "composite literal (heap allocation)")
+				return false // one finding per outermost literal
+			}
+		case *ast.CallExpr:
+			if depth > 0 {
+				if id, ok := x.Fun.(*ast.Ident); ok {
+					if _, isBuiltin := w.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+						switch id.Name {
+						case "make":
+							w.flag(x, "make")
+						case "new":
+							w.flag(x, "new")
+						case "append":
+							w.flag(x, "append (may grow the backing array)")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if depth > 0 {
+				for _, l := range x.Lhs {
+					ix, ok := l.(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					if t := typeOf(w.p, ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							w.flag(ix, "map write (may allocate a bucket)")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,11 +1,22 @@
 // Package lint implements erlint, the repository's static-analysis suite.
 // Each analyzer mechanically enforces one invariant the resolution pipeline
-// depends on but the compiler cannot check: panics stay behind the public
+// depends on but the compiler cannot check.
+//
+// Six analyzers are syntactic, per package: panics stay behind the public
 // recovery boundary (nopanic), hot loops remain cancellable (guardloop),
 // kernels stay deterministic (determinism), float arithmetic in the fusion
 // loop stays guarded against poles and NaN traps (floatguard), errors
 // crossing the public API wrap the taxonomy (errwrap), and every Options
 // field documents its zero value (optzero).
+//
+// Five analyzers are flow-aware, built on per-function control-flow graphs
+// (cfg.go), an abstract lock-state lattice (lockstate.go) and interprocedural
+// call-graph summaries (facts.go): no blocking operation while a mutex is
+// held (lockhold), a cycle-free cross-package lock acquisition order
+// (lockorder), a cancellation path for every spawned goroutine (goleak), the
+// WAL durability protocol — fsync before rename, directory fsync after entry
+// mutations, journal append before in-memory apply (fsyncorder) — and no
+// loop allocations in //lint:hotpath-annotated kernels (hotalloc).
 //
 // Findings are suppressed per line with a mandatory reason:
 //
@@ -16,9 +27,16 @@
 //
 //	//lint:invariant <reason>
 //
-// on the panic itself or in the enclosing function's doc comment. A
-// directive without a reason is itself a finding: unexplained suppressions
-// rot into unreviewable noise.
+// on the panic itself or in the enclosing function's doc comment, and hot
+// kernels opt into the allocation discipline with
+//
+//	//lint:hotpath <reason>
+//
+// in the function's doc comment. A directive without a reason is itself a
+// finding: unexplained suppressions rot into unreviewable noise. So is a
+// stale directive — one that suppressed nothing in a run that included every
+// analyzer it names: a suppression that outlives its finding hides the next
+// real one at the same spot.
 package lint
 
 import (
@@ -52,13 +70,21 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for the driver's usage output.
 	Doc string
+	// Scope is a one-line human description of where the analyzer applies
+	// ("module-wide", "internal/{serve,wal,engine}", ...), for -list output.
+	Scope string
 	// Applies reports whether the analyzer covers the package; nil means
 	// every package. Scoping lives here (not in the driver) so the fixture
-	// tests and the driver cannot disagree about coverage.
+	// tests and the driver cannot disagree about coverage. Module analyzers
+	// are filtered by the package owning each finding's file.
 	Applies func(pkgPath string) bool
 	// Run inspects one package and returns raw findings; the runner applies
-	// suppressions afterwards.
+	// suppressions afterwards. Exactly one of Run and RunModule is set.
 	Run func(p *Package) []Finding
+	// RunModule inspects the whole run at once over the interprocedural
+	// program view — the flow-aware analyzers need call-graph summaries
+	// that cross package boundaries.
+	RunModule func(prog *program) []Finding
 }
 
 // All returns the full analyzer suite in stable order.
@@ -70,17 +96,35 @@ func All() []*Analyzer {
 		FloatGuard(),
 		ErrWrap(),
 		OptZero(),
+		LockHold(),
+		LockOrder(),
+		GoLeak(),
+		FsyncOrder(),
+		HotAlloc(),
 	}
 }
 
 // Run executes the analyzers over the packages, applies //lint:ignore
-// suppressions, reports malformed directives, and returns the surviving
-// findings sorted by position.
+// suppressions, reports malformed and stale directives, and returns the
+// surviving findings sorted by position. Module-level analyzers see every
+// package at once (their facts cross package boundaries); their findings
+// are attributed to the package owning the file and filtered through that
+// package's Applies scope and suppressions.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	for _, p := range pkgs {
+		p.resetDirectives()
+	}
+	var prog *program
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			prog = newProgram(pkgs)
+			break
+		}
+	}
 	var out []Finding
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(p.Path) {
+			if a.Run == nil || (a.Applies != nil && !a.Applies(p.Path)) {
 				continue
 			}
 			for _, f := range a.Run(p) {
@@ -89,7 +133,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				}
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, f := range a.RunModule(prog) {
+			p := prog.fileOf[f.Pos.Filename]
+			if p == nil || (a.Applies != nil && !a.Applies(p.Path)) {
+				continue
+			}
+			if !p.suppressed(a.Name, f.Pos) {
+				out = append(out, f)
+			}
+		}
+	}
+	for _, p := range pkgs {
 		out = append(out, p.directiveErrors()...)
+		out = append(out, p.staleFindings(analyzers)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -109,20 +170,50 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 
 // directive is one parsed //lint: comment.
 type directive struct {
-	// kind is "ignore" or "invariant".
+	// kind is "ignore", "invariant" or "hotpath".
 	kind string
 	// analyzers lists the analyzer names an ignore covers (nil for
-	// invariant, which is nopanic-specific by definition).
+	// invariant and hotpath, which bind to single analyzers by definition).
 	analyzers []string
 	// reason is the mandatory justification.
 	reason string
 	// pos is the directive's own position.
 	pos token.Position
+	// used records whether the directive had any effect during the current
+	// run; an eligible directive that stays unused is itself a finding.
+	used bool
+}
+
+// parseDirective parses the text following "//lint:" into a directive, or
+// reports ok=false for an unknown kind. Split out from buildSuppressions so
+// the fuzzer can drive the parser directly.
+func parseDirective(text string) (*directive, bool) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	d := &directive{kind: fields[0]}
+	switch d.kind {
+	case "ignore":
+		if len(fields) > 1 {
+			d.analyzers = strings.Split(fields[1], ",")
+		}
+		if len(fields) > 2 {
+			d.reason = strings.Join(fields[2:], " ")
+		}
+	case "invariant", "hotpath":
+		if len(fields) > 1 {
+			d.reason = strings.Join(fields[1:], " ")
+		}
+	default:
+		return nil, false
+	}
+	return d, true
 }
 
 // buildSuppressions indexes every //lint: directive by file and line.
 func (p *Package) buildSuppressions() {
-	p.suppressions = make(map[string][]directive)
+	p.suppressions = make(map[string][]*directive)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -130,36 +221,30 @@ func (p *Package) buildSuppressions() {
 				if !ok {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				d := directive{pos: pos}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
+				d, ok := parseDirective(text)
+				if !ok {
 					continue
 				}
-				d.kind = fields[0]
-				switch d.kind {
-				case "ignore":
-					if len(fields) > 1 {
-						d.analyzers = strings.Split(fields[1], ",")
-					}
-					if len(fields) > 2 {
-						d.reason = strings.Join(fields[2:], " ")
-					}
-				case "invariant":
-					if len(fields) > 1 {
-						d.reason = strings.Join(fields[1:], " ")
-					}
-				default:
-					continue
-				}
-				p.suppressions[pos.Filename] = append(p.suppressions[pos.Filename], d)
+				d.pos = p.Fset.Position(c.Pos())
+				p.suppressions[d.pos.Filename] = append(p.suppressions[d.pos.Filename], d)
 			}
 		}
 	}
 }
 
+// resetDirectives clears the used flags before a run (packages are cached
+// by the loader and may be linted more than once).
+func (p *Package) resetDirectives() {
+	for _, ds := range p.suppressions {
+		for _, d := range ds {
+			d.used = false
+		}
+	}
+}
+
 // suppressed reports whether a finding at pos is covered by an ignore
-// directive for the analyzer on the same line or the line directly above.
+// directive for the analyzer on the same line or the line directly above,
+// marking the directive used.
 func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 	for _, d := range p.suppressions[pos.Filename] {
 		if d.kind != "ignore" || d.reason == "" {
@@ -170,6 +255,7 @@ func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 		}
 		for _, a := range d.analyzers {
 			if a == analyzer {
+				d.used = true
 				return true
 			}
 		}
@@ -179,25 +265,85 @@ func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 
 // invariantAt reports whether a //lint:invariant directive with a reason
 // covers pos: same line, the line directly above, or the doc comment of the
-// enclosing function (fn may be nil).
+// enclosing function (fn may be nil). Matching directives are marked used.
 func (p *Package) invariantAt(pos token.Position, fn *ast.FuncDecl) bool {
 	for _, d := range p.suppressions[pos.Filename] {
 		if d.kind != "invariant" || d.reason == "" {
 			continue
 		}
 		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 {
+			d.used = true
 			return true
 		}
 	}
 	if fn != nil && fn.Doc != nil {
-		for _, c := range fn.Doc.List {
-			rest, ok := strings.CutPrefix(c.Text, "//lint:invariant")
-			if ok && strings.TrimSpace(rest) != "" {
+		start := p.Fset.Position(fn.Doc.Pos())
+		end := p.Fset.Position(fn.Doc.End())
+		for _, d := range p.suppressions[start.Filename] {
+			if d.kind == "invariant" && d.reason != "" && d.pos.Line >= start.Line && d.pos.Line <= end.Line {
+				d.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// hotpathFor returns the //lint:hotpath directive in fn's doc comment, or
+// nil. The directive is marked used: an annotation the hotalloc analyzer
+// actually consulted is doing its job even when no finding results.
+func (p *Package) hotpathFor(fn *ast.FuncDecl) *directive {
+	if fn == nil || fn.Doc == nil {
+		return nil
+	}
+	start := p.Fset.Position(fn.Doc.Pos())
+	end := p.Fset.Position(fn.Doc.End())
+	for _, d := range p.suppressions[start.Filename] {
+		if d.kind == "hotpath" && d.pos.Line >= start.Line && d.pos.Line <= end.Line {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}
+
+// staleFindings reports directives that had no effect in this run even
+// though every analyzer they bind to ran on this package. A partial run
+// (-enable some-analyzer) never declares other analyzers' directives stale.
+func (p *Package) staleFindings(analyzers []*Analyzer) []Finding {
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	ranHere := func(name string) bool {
+		a, ok := byName[name]
+		return ok && (a.Applies == nil || a.Applies(p.Path))
+	}
+	var out []Finding
+	for _, ds := range p.suppressions {
+		for _, d := range ds {
+			if d.used || d.reason == "" {
+				continue // malformed directives are directiveErrors' findings
+			}
+			eligible := false
+			switch d.kind {
+			case "ignore":
+				eligible = len(d.analyzers) > 0
+				for _, name := range d.analyzers {
+					eligible = eligible && ranHere(name)
+				}
+			case "invariant":
+				eligible = ranHere("nopanic")
+			case "hotpath":
+				eligible = ranHere("hotalloc")
+			}
+			if eligible {
+				out = append(out, Finding{Analyzer: "lint", Pos: d.pos,
+					Message: fmt.Sprintf("stale //lint:%s directive: it suppressed nothing in this run; delete it", d.kind)})
+			}
+		}
+	}
+	return out
 }
 
 // directiveErrors reports malformed directives: ignore/invariant without a

@@ -140,6 +140,34 @@ func TestDirectiveFindings(t *testing.T) {
 	checkFixture(t, "directives", "fixture/directives", lint.NoPanic())
 }
 
+func TestLockHoldFixture(t *testing.T) {
+	checkFixture(t, "lockhold", "repro/internal/wal", lint.LockHold())
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", "repro/internal/serve", lint.LockOrder())
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	checkFixture(t, "goleak", "fixture/goleak", lint.GoLeak())
+}
+
+func TestFsyncOrderFixture(t *testing.T) {
+	checkFixture(t, "fsyncorder", "repro/internal/wal", lint.FsyncOrder())
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, "hotalloc", "repro/internal/core", lint.HotAlloc())
+}
+
+// TestStaleDirectiveFixture runs the full suite so every directive in the
+// fixture is eligible for staleness: used ones stay silent, unexercised
+// ones fire, and one naming an analyzer that does not cover the package is
+// left alone.
+func TestStaleDirectiveFixture(t *testing.T) {
+	checkFixture(t, "stale", "repro/internal/core", lint.All()...)
+}
+
 // TestAppliesScoping pins each analyzer's package scope: running the full
 // suite on a fixture must only ever produce findings from analyzers whose
 // Applies accepts the fixture's path.

@@ -49,7 +49,7 @@ type Package struct {
 	// Info holds type-checker facts (expression types, uses, selections).
 	Info *types.Info
 
-	suppressions map[string][]directive
+	suppressions map[string][]*directive
 }
 
 // NewLoader builds a loader for the module rooted at dir (or any directory

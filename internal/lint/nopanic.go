@@ -19,9 +19,10 @@ import (
 // impossible state crashes only itself.
 func NoPanic() *Analyzer {
 	return &Analyzer{
-		Name: "nopanic",
-		Doc:  "library code must not call panic() without a //lint:invariant justification",
-		Run:  runNoPanic,
+		Name:  "nopanic",
+		Scope: "module-wide",
+		Doc:   "library code must not call panic() without a //lint:invariant justification",
+		Run:   runNoPanic,
 	}
 }
 

@@ -1,0 +1,73 @@
+// Package cfgfix hosts the function shapes the CFG builder tests
+// decompose: defer-unlock, early return, labeled break and continue,
+// select, and type switch.
+package cfgfix
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// deferUnlock is the canonical idiom: the unlock applies at exit.
+func (g *guarded) deferUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// earlyReturn releases on the early path and leaks the lock on the late
+// one: the may-analysis reports it held at exit.
+func (g *guarded) earlyReturn(flag bool) int {
+	g.mu.Lock()
+	if flag {
+		g.mu.Unlock()
+		return 0
+	}
+	return g.n
+}
+
+// labeledLoops exercises labeled break and continue across two nested
+// ranges.
+func labeledLoops(xs [][]int) int {
+	total := 0
+outer:
+	for i := range xs {
+		for _, v := range xs[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// selector exercises select decomposition inside an unconditional loop.
+func (g *guarded) selector(stop chan struct{}) int {
+	for {
+		select {
+		case v := <-g.ch:
+			return v
+		case <-stop:
+			return 0
+		}
+	}
+}
+
+// typeSwitch exercises type-switch decomposition with a default clause.
+func typeSwitch(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	default:
+		return 0
+	}
+}

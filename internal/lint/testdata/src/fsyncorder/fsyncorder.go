@@ -1,0 +1,141 @@
+// Package fsyncfix models the WAL durability protocol: fsync the staged
+// file before renaming it into place, fsync the directory after entry
+// mutations, and append to the journal before applying in memory.
+package fsyncfix
+
+type file interface {
+	Write([]byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type dirFS interface {
+	Create(string) (file, error)
+	Rename(string, string) error
+	Remove(string) error
+	SyncDir(string) error
+}
+
+// Log stands in for the WAL journal.
+type Log struct{}
+
+// Append journals one record.
+func (l *Log) Append(b []byte) error { return nil }
+
+type state struct {
+	fs  dirFS
+	log *Log
+	n   int
+}
+
+// publishGood follows the protocol: sync the staged file, rename, sync the
+// directory. The discarded Remove is best-effort cleanup and exempt.
+func (s *state) publishGood(dir, tmp, final string, b []byte) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(dir)
+}
+
+// publishUnsynced renames bytes that were never fsynced: a crash can
+// surface an empty published file.
+func (s *state) publishUnsynced(dir, tmp, final string, b []byte) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(b)
+	_ = f.Close()
+	if err := s.fs.Rename(tmp, final); err != nil { // want fsyncorder
+		return err
+	}
+	return s.fs.SyncDir(dir)
+}
+
+// publishMaybeSynced fsyncs on only one branch: the must-analysis keeps
+// the path that skipped it.
+func (s *state) publishMaybeSynced(dir, tmp, final string, b []byte, fast bool) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(b)
+	if !fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := s.fs.Rename(tmp, final); err != nil { // want fsyncorder
+		return err
+	}
+	return s.fs.SyncDir(dir)
+}
+
+// renameNoDirSync persists the file but never the directory entry.
+func (s *state) renameNoDirSync(tmp, final string, f file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, final) // want fsyncorder
+}
+
+// removeChecked checks the remove error — claiming durability — but never
+// syncs the directory.
+func (s *state) removeChecked(path string) error {
+	if err := s.fs.Remove(path); err != nil { // want fsyncorder
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// removeBestEffort discards the error: exempt cleanup.
+func (s *state) removeBestEffort(path string) {
+	_ = s.fs.Remove(path)
+}
+
+// helperSync performs the directory barrier for its callers: the summary
+// satisfies them at the call site.
+func (s *state) helperSync(dir string) error { return s.fs.SyncDir(dir) }
+
+func (s *state) renameViaHelper(tmp, final, dir string, f file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	return s.helperSync(dir)
+}
+
+// applyThenJournal mutates memory before the WAL records the write: a
+// crash in between loses a write readers already observed.
+func (s *state) applyThenJournal(b []byte) error {
+	s.applyLocked(b) // want fsyncorder
+	return s.log.Append(b)
+}
+
+// journalThenApply is the correct order.
+func (s *state) journalThenApply(b []byte) error {
+	if err := s.log.Append(b); err != nil {
+		return err
+	}
+	s.applyLocked(b)
+	return nil
+}
+
+func (s *state) applyLocked(b []byte) { s.n += len(b) }

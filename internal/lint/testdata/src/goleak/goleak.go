@@ -1,0 +1,73 @@
+// Package goleakfix models goroutine lifecycle discipline: every go
+// statement needs a cancellation path — a select, a channel receive, a
+// range over a channel, or a context flowing in — or a reasoned ignore.
+package goleakfix
+
+import "context"
+
+type worker struct {
+	jobs chan int
+	stop chan struct{}
+}
+
+func process(int) {}
+
+// spin has no way to stop: it leaks when its owner shuts down.
+func (w *worker) spin() {
+	go func() { // want goleak
+		for {
+			process(0)
+		}
+	}()
+}
+
+// drain ranges over a channel: closing the channel stops it.
+func (w *worker) drain() {
+	go func() {
+		for j := range w.jobs {
+			process(j)
+		}
+	}()
+}
+
+// selectLoop selects on a stop channel.
+func (w *worker) selectLoop() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				process(j)
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// withContext hands the goroutine a context: cancelable through run's
+// summary and through the context-typed argument itself.
+func (w *worker) withContext(ctx context.Context) {
+	go w.run(ctx)
+}
+
+func (w *worker) run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// named spawns a named function with no cancellation path: the summary
+// carries the answer across the call.
+func (w *worker) named() {
+	go w.spinForever() // want goleak
+}
+
+func (w *worker) spinForever() {
+	for {
+		process(1)
+	}
+}
+
+// blessed documents an intentionally unbounded goroutine.
+func (w *worker) blessed() {
+	//lint:ignore goleak fixture: goroutine lifetime equals process lifetime by design
+	go w.spinForever()
+}

@@ -1,0 +1,87 @@
+// Package hotallocfix seeds an allocation regression into a copy of the
+// fusion-product arena path: the bad variant re-allocates its scratch
+// buffers once per row, the good variant hoists them, and an unannotated
+// function allocates freely without complaint.
+package hotallocfix
+
+type edge struct {
+	Row, Col int32
+	Val      float64
+}
+
+type arena struct {
+	f64 [][]float64
+}
+
+// getF64 mirrors the real arena getter: the frees-list scan runs in a
+// loop, but every allocation sits at loop depth zero.
+//
+//lint:hotpath fixture: mirrors the real arena getter
+func (a *arena) getF64(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	for k := len(a.f64) - 1; k >= 0; k-- {
+		if cap(a.f64[k]) >= n {
+			b := a.f64[k][:n]
+			a.f64 = a.f64[:len(a.f64)-1]
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// fusionRowsBad is the seeded regression: scratch state allocated once per
+// row instead of once per call.
+//
+//lint:hotpath fixture: seeded per-row allocation regression
+func fusionRowsBad(rows [][]edge, p []float64) []float64 {
+	out := make([]float64, len(p))
+	for r := range rows {
+		scratch := make([]float64, len(p)) // want hotalloc
+		acc := map[int32]float64{}         // want hotalloc
+		for _, e := range rows[r] {
+			acc[e.Col] += e.Val // want hotalloc
+		}
+		for c, v := range acc {
+			scratch[c] = v
+		}
+		tmp := edge{Row: int32(r)} // want hotalloc
+		_ = tmp
+		grown := append(scratch, 0) // want hotalloc
+		_ = grown
+		f := func() float64 { return p[r] } // want hotalloc
+		out[r] = f()
+	}
+	return out
+}
+
+// fusionRowsGood hoists every buffer out of the loop: allocation-free
+// steady state.
+//
+//lint:hotpath fixture: allocation-free steady state
+func fusionRowsGood(rows [][]edge, p []float64, scratch []float64) []float64 {
+	out := make([]float64, len(p))
+	for r := range rows {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		for _, e := range rows[r] {
+			scratch[e.Col] += e.Val
+		}
+		out[r] = scratch[r]
+	}
+	return out
+}
+
+// unannotated allocates freely: not a hot path, not hotalloc's business.
+func unannotated(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

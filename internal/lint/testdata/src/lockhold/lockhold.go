@@ -1,0 +1,102 @@
+// Package walfix models the PR 6 bug class: blocking operations performed
+// while a mutex is held. The store lock wrapping an fsync is the exact
+// shape that review caught by hand — every concurrent reader became a disk
+// wait.
+package walfix
+
+import (
+	"os"
+	"sync"
+)
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// sealLocked is the blessed barrier: the one designed fsync under the
+// journal lock. The suppression on the primitive excludes it from the
+// interprocedural summary, so callers stay clean without their own
+// directives.
+func (j *journal) sealLocked() error {
+	//lint:ignore lockhold fixture: the one designed fsync under the journal lock
+	return j.f.Sync()
+}
+
+type store struct {
+	mu  sync.Mutex
+	f   *os.File
+	ch  chan error
+	log *journal
+}
+
+// appendDirect reproduces the PR 6 finding: an fsync while the store mutex
+// is held.
+func (s *store) appendDirect(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(b); err != nil { // buffered write: fine under the lock
+		return err
+	}
+	return s.f.Sync() // want lockhold
+}
+
+// fsyncAll is a helper whose fsync is not blessed.
+func (s *store) fsyncAll() error { return s.f.Sync() }
+
+// appendViaHelper blocks through a call: the summary carries the fsync up
+// to the call site.
+func (s *store) appendViaHelper(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.f.Write(b)
+	return s.fsyncAll() // want lockhold
+}
+
+// appendBlessed calls the suppressed barrier: one reviewed reason on the
+// primitive, no suppression cascade up the call chain.
+func (s *store) appendBlessed() error {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	return s.log.sealLocked()
+}
+
+// appendOutside moves the fsync outside the critical section: clean.
+func (s *store) appendOutside(b []byte) error {
+	s.mu.Lock()
+	_, err := s.f.Write(b)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// notifyUnderLock sends on a channel while holding the lock: the receiver
+// decides when the critical section ends.
+func (s *store) notifyUnderLock(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- err // want lockhold
+}
+
+// nudge uses a select with a default: it never parks, so holding the lock
+// across it is fine.
+func (s *store) nudge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- nil:
+	default:
+	}
+}
+
+// waitUnderLock parks on a select with no default while holding the lock.
+func (s *store) waitUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want lockhold
+	case err := <-s.ch:
+		return err
+	}
+}

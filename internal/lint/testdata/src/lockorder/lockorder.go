@@ -1,0 +1,58 @@
+// Package servefix models lock-ordering discipline: two functions that
+// acquire the same pair of locks in opposite orders form a deadlock-risk
+// cycle; a pair acquired consistently — even through a helper — does not.
+package servefix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+type pair struct {
+	a *A
+	b *B
+	c *C
+	d *D
+}
+
+// lockAB takes A then B; lockBA takes B then A. Together they form the
+// cycle, reported once at its lexicographically first edge.
+func (p *pair) lockAB() {
+	p.a.mu.Lock()
+	p.b.mu.Lock() // want lockorder
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.mu.Lock()
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+	p.b.mu.Unlock()
+}
+
+// lockCD orders C before D consistently: clean.
+func (p *pair) lockCD() {
+	p.c.mu.Lock()
+	p.d.mu.Lock()
+	p.d.mu.Unlock()
+	p.c.mu.Unlock()
+}
+
+// lockCViaHelper acquires D through a helper while holding C: the
+// interprocedural edge agrees with lockCD's order, still clean.
+func (p *pair) lockCViaHelper() {
+	p.c.mu.Lock()
+	p.helperD()
+	p.c.mu.Unlock()
+}
+
+func (p *pair) helperD() {
+	p.d.mu.Lock()
+	p.d.mu.Unlock()
+}

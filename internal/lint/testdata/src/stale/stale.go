@@ -1,0 +1,41 @@
+// Package stalefix exercises stale-directive detection: an eligible
+// directive that suppressed nothing in a full run is itself a finding,
+// while a directive naming an analyzer whose scope excludes this package
+// is left alone — a scope-limited run must not declare it stale.
+package stalefix
+
+// boom carries a used suppression: nopanic fires on the panic and the
+// ignore consumes it.
+func boom() {
+	//lint:ignore nopanic fixture: the suppression is exercised
+	panic("boom")
+}
+
+// calm carries an ignore that suppresses nothing: stale.
+func calm() int {
+	// want+1 lint
+	//lint:ignore nopanic fixture: nothing left to suppress
+	return 1
+}
+
+// outOfScope names an analyzer that does not cover this package: silent.
+func outOfScope() {
+	//lint:ignore lockhold fixture: lockhold does not apply to this package
+	_ = 0
+}
+
+// checkInvariant panics behind a reasoned invariant: the directive is
+// consulted and therefore used.
+func checkInvariant(n int) {
+	if n < 0 {
+		//lint:invariant fixture: negative n is a programmer error
+		panic("negative")
+	}
+}
+
+// noPanicHere carries an invariant never matched by any panic: stale.
+//
+// want+2 lint
+//
+//lint:invariant fixture: never matched by any panic
+func noPanicHere() {}

@@ -131,6 +131,8 @@ func (v *PatVec) Transpose() *PatVec {
 
 // TransposeInto writes vᵀ into out, which must share v's pattern. It is the
 // allocation-free form of Transpose used by the CliqueRank power loop.
+//
+//lint:hotpath allocation-free by contract; the CliqueRank power loop calls it every iteration
 func (v *PatVec) TransposeInto(out *PatVec) {
 	if v.P != out.P {
 		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics
@@ -183,6 +185,8 @@ func MaskedMul(mt, at *PatVec) *PatVec {
 // pattern) and returns dst. Rows are fanned out through the deterministic
 // scheduler, and each row writes a disjoint slice of dst.Val, so the result
 // is bit-identical for every worker count. workers < 1 selects GOMAXPROCS.
+//
+//lint:hotpath the fusion product's inner kernel; the AllocsPerRun tests pin its steady state at zero
 func MaskedMulInto(dst, mt, at *PatVec, workers int) *PatVec {
 	if mt.P != at.P || dst.P != mt.P {
 		//lint:invariant graph-structure preconditions are programmer errors; tests assert these panics

@@ -58,6 +58,8 @@ func chunks(n int) int { return (n + Grain - 1) / Grain }
 // bit-identical serial vs. parallel. When the input fits one chunk, or only
 // one worker is available, fn runs on the calling goroutine with no
 // goroutine or synchronization overhead.
+//
+//lint:hotpath every kernel fans out through For; anything allocated per chunk multiplies across the whole pipeline
 func For(workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -81,7 +83,8 @@ func For(workers, n int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
-		go func() {
+		//lint:ignore goleak workers drain a bounded chunk counter and exit; For returns only after wg.Wait sees them all finish
+		go func() { //lint:ignore hotalloc one closure per worker at fan-out, not per chunk; the loop bound is the worker count
 			defer wg.Done()
 			for {
 				c := int(next.Add(1)) - 1
@@ -110,6 +113,8 @@ var partials = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &
 // (((p0+p1)+p2)+…) over Grain-sized chunk sums — is therefore a pure
 // function of n, independent of the worker count and the goroutine
 // schedule, so serial and parallel runs agree to the last bit.
+//
+//lint:hotpath every reduction fans out through ReduceSum; anything allocated per chunk multiplies across the whole pipeline
 func ReduceSum(workers, n int, fn func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0

@@ -32,8 +32,22 @@ go vet -copylocks -loopclosure -printf ./...
 echo "==> go build"
 go build ./...
 
-echo "==> erlint"
-go run ./cmd/erlint ./...
+# Build the linter once, then run each analyzer as its own named step so a
+# failure log says *which* invariant broke (lock discipline vs durability
+# protocol vs allocation budget), not just "erlint failed". The final
+# full-suite pass catches what the per-analyzer loop cannot: stale-directive
+# detection only fires for directives whose every named analyzer ran.
+echo "==> erlint (build)"
+erlint_bin=$(mktemp -d)/erlint
+trap 'rm -rf "$(dirname "$erlint_bin")"' EXIT
+go build -o "$erlint_bin" ./cmd/erlint
+for analyzer in nopanic guardloop determinism floatguard errwrap optzero \
+                lockhold lockorder goleak fsyncorder hotalloc; do
+    echo "==> erlint: $analyzer"
+    "$erlint_bin" -enable "$analyzer" ./...
+done
+echo "==> erlint: full suite (stale-directive audit)"
+"$erlint_bin" ./...
 
 echo "==> go test -race -shuffle=on"
 go test -race -shuffle=on ./...

@@ -1,0 +1,253 @@
+// Command erctl is the operator CLI for erserve, built on the retrying
+// client in internal/client: every mutation carries an automatically
+// generated idempotency key and is retried with full-jitter backoff, so
+// running a command again after a dropped connection cannot double-apply.
+//
+// Usage:
+//
+//	erctl [flags] create <collection>
+//	erctl [flags] drop <collection>
+//	erctl [flags] put <collection> <id> <text> [entity [source]]
+//	erctl [flags] del <collection> <id>
+//	erctl [flags] ls [collection]
+//	erctl [flags] resolve <collection>
+//	erctl [flags] ready
+//	erctl [flags] stats
+//
+// Exit codes follow the error taxonomy so scripts can branch without
+// parsing output: 0 success, 1 internal/unknown, 2 usage or invalid
+// request, 3 not found, 4 conflict (exists, idempotency key reuse),
+// 5 unavailable or overloaded after retries, 6 budget exceeded.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	er "repro"
+	"repro/internal/client"
+)
+
+// Exit codes, one per taxonomy branch.
+const (
+	exitOK          = 0
+	exitInternal    = 1
+	exitUsage       = 2
+	exitNotFound    = 3
+	exitConflict    = 4
+	exitUnavailable = 5
+	exitBudget      = 6
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("erctl", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "erserve base URL")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "overall deadline for the command")
+		attempts = fs.Int("attempts", client.DefaultMaxAttempts, "attempts per request (1 disables retries)")
+		verbose  = fs.Bool("v", false, "log each retry decision to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: erctl [flags] <create|drop|put|del|ls|resolve|ready|stats> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+
+	opts := client.Options{BaseURL: *addr, MaxAttempts: *attempts}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "erctl: "+format+"\n", args...)
+		}
+	}
+	c, err := client.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erctl:", err)
+		return exitUsage
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, args := fs.Arg(0), fs.Args()[1:]
+	err = dispatch(ctx, c, cmd, args)
+	if err == nil {
+		return exitOK
+	}
+	if errors.Is(err, errUsage) {
+		fmt.Fprintln(os.Stderr, "erctl:", err)
+		fs.Usage()
+		return exitUsage
+	}
+	fmt.Fprintln(os.Stderr, "erctl:", err)
+	return exitCode(err)
+}
+
+// errUsage marks argument mistakes detected before any request is sent.
+var errUsage = errors.New("usage")
+
+// dispatch routes one subcommand to the client.
+func dispatch(ctx context.Context, c *client.Client, cmd string, args []string) error {
+	need := func(n int, shape string) error {
+		if len(args) != n {
+			return fmt.Errorf("%w: %s takes %s", errUsage, cmd, shape)
+		}
+		return nil
+	}
+	switch cmd {
+	case "create":
+		if err := need(1, "<collection>"); err != nil {
+			return err
+		}
+		out, err := c.CreateCollection(ctx, args[0])
+		return report(err, "created %s%s\n", args[0], replayNote(out))
+	case "drop":
+		if err := need(1, "<collection>"); err != nil {
+			return err
+		}
+		out, err := c.DropCollection(ctx, args[0])
+		return report(err, "dropped %s%s\n", args[0], replayNote(out))
+	case "put":
+		if len(args) < 3 || len(args) > 5 {
+			return fmt.Errorf("%w: put takes <collection> <id> <text> [entity [source]]", errUsage)
+		}
+		rec := client.Record{Text: args[2]}
+		if len(args) >= 4 {
+			rec.Entity = args[3]
+		}
+		if len(args) == 5 {
+			src, err := strconv.Atoi(args[4])
+			if err != nil {
+				return fmt.Errorf("%w: source must be an integer, got %q", errUsage, args[4])
+			}
+			rec.Source = src
+		}
+		out, err := c.PutRecord(ctx, args[0], args[1], rec)
+		return report(err, "put %s/%s%s\n", args[0], args[1], replayNote(out))
+	case "del":
+		if err := need(2, "<collection> <id>"); err != nil {
+			return err
+		}
+		out, err := c.DeleteRecord(ctx, args[0], args[1])
+		return report(err, "deleted %s/%s%s\n", args[0], args[1], replayNote(out))
+	case "ls":
+		switch len(args) {
+		case 0:
+			cols, err := c.ListCollections(ctx)
+			if err != nil {
+				return err
+			}
+			for _, col := range cols {
+				fmt.Printf("%s\t%d\n", col.Name, col.Records)
+			}
+			return nil
+		case 1:
+			recs, err := c.GetCollection(ctx, args[0])
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				fmt.Printf("%s\t%s\n", r.ID, r.Text)
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: ls takes at most one <collection>", errUsage)
+		}
+	case "resolve":
+		if err := need(1, "<collection>"); err != nil {
+			return err
+		}
+		res, err := c.Resolve(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(res.Raw)
+	case "ready":
+		if err := need(0, "no arguments"); err != nil {
+			return err
+		}
+		if err := c.Ready(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ready")
+		return nil
+	case "stats":
+		if err := need(0, "no arguments"); err != nil {
+			return err
+		}
+		raw, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(raw)
+	default:
+		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
+	}
+}
+
+// report prints the success line unless the call failed.
+func report(err error, format string, args ...any) error {
+	if err != nil {
+		return err
+	}
+	fmt.Printf(format, args...)
+	return nil
+}
+
+// replayNote annotates mutations the server answered from its idempotency
+// journal — i.e. an earlier attempt already applied this change.
+func replayNote(out client.Outcome) string {
+	if out.Replayed {
+		return " (replayed)"
+	}
+	return ""
+}
+
+// printJSON re-indents a raw response for human eyes.
+func printJSON(raw json.RawMessage) error {
+	var buf any
+	if err := json.Unmarshal(raw, &buf); err != nil {
+		return fmt.Errorf("%w: decoding response: %v", er.ErrBadData, err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buf)
+}
+
+// exitCode maps a command error onto the documented taxonomy exit code.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, er.ErrInvalidOptions), errors.Is(err, er.ErrBadData),
+		errors.Is(err, er.ErrNoRecords), errors.Is(err, er.ErrNoCandidates):
+		return exitUsage
+	case errors.Is(err, client.ErrNotFound):
+		return exitNotFound
+	case errors.Is(err, client.ErrExists), errors.Is(err, client.ErrIdempotencyConflict):
+		return exitConflict
+	case errors.Is(err, client.ErrOverloaded), errors.Is(err, client.ErrUnavailable):
+		return exitUnavailable
+	case errors.Is(err, er.ErrBudgetExceeded), errors.Is(err, context.DeadlineExceeded):
+		return exitBudget
+	default:
+		return exitInternal
+	}
+}

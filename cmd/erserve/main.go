@@ -91,7 +91,15 @@ func run(addr string, opts serve.Options, drainBudget time.Duration) error {
 	// Printed (not logged) so scripts binding :0 can scrape the port.
 	fmt.Printf("erserve listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// Slowloris guard: a client trickling header bytes (or parking idle
+	// keep-alive sockets) must not pin connections forever. No WriteTimeout:
+	// response time is governed by the per-job deadline — a resolve can
+	// legitimately hold its response for the whole JobTimeout.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	//lint:ignore goleak Serve returns when Shutdown closes the listener; the goroutine's lifetime is the server's
 	go func() { serveErr <- hs.Serve(ln) }()

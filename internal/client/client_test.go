@@ -1,0 +1,413 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	er "repro"
+	"repro/internal/serve"
+)
+
+func newTestClient(t *testing.T, baseURL string, mutate func(*Options)) *Client {
+	t.Helper()
+	opts := Options{
+		BaseURL:        baseURL,
+		MaxAttempts:    5,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		AttemptTimeout: 5 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// TestRetryUntilSuccessKeepsOneIdempotencyKey is the core retry contract:
+// transient 503s are retried, and every attempt of one logical mutation
+// carries the same Idempotency-Key — the invariant the server's dedup
+// journal depends on.
+func TestRetryUntilSuccessKeepsOneIdempotencyKey(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		keys []string
+	)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"serve: draining","kind":"draining"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"id":"r1","text":"x"}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	out, err := c.PutRecord(context.Background(), "people", "r1", Record{Text: "x"})
+	if err != nil {
+		t.Fatalf("PutRecord: %v", err)
+	}
+	if out.Replayed {
+		t.Fatal("fresh apply reported as replayed")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("captured %d keys, want 3", len(keys))
+	}
+	if keys[0] == "" || len(keys[0]) != 32 {
+		t.Fatalf("idempotency key %q: want 32 hex chars", keys[0])
+	}
+	for i, k := range keys[1:] {
+		if k != keys[0] {
+			t.Fatalf("attempt %d used key %q, first attempt used %q: retries must reuse the key", i+2, k, keys[0])
+		}
+	}
+}
+
+// TestReplayedHeaderSurfaced maps the server's Idempotency-Replayed marker
+// onto Outcome.Replayed.
+func TestReplayedHeaderSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Idempotency-Replayed", "true")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"deleted":"r1"}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, nil)
+	out, err := c.DeleteRecord(context.Background(), "people", "r1")
+	if err != nil {
+		t.Fatalf("DeleteRecord: %v", err)
+	}
+	if !out.Replayed {
+		t.Fatal("Outcome.Replayed = false for a replayed response")
+	}
+}
+
+// TestRetryAfterFloorsBackoff pins Retry-After honoring: with a jitter
+// ceiling of microseconds, the planned sleep must still be the server's
+// 1-second wish. The caller's context expires mid-sleep, proving both the
+// floor and that the wait is cancellable rather than a hard time.Sleep.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"serve: queue full","kind":"queue_full"}`)
+	}))
+	defer srv.Close()
+
+	var (
+		mu   sync.Mutex
+		logs []string
+	)
+	c := newTestClient(t, srv.URL, func(o *Options) {
+		o.BaseBackoff = time.Microsecond
+		o.MaxBackoff = time.Microsecond
+		o.Logf = func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.CreateCollection(ctx, "people")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded from the aborted retry wait", err)
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("call blocked %s: the retry sleep ignored context cancellation", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) != 1 || !strings.Contains(logs[0], "in 1s") {
+		t.Fatalf("retry log %q: want one line announcing a 1s (Retry-After floored) sleep", logs)
+	}
+}
+
+// TestBudgetExceededNotRetried pins the deliberate hole in the retry
+// policy: 504 reports the job's own budget deterministically elapsing, so
+// resubmitting the same work cannot help.
+func TestBudgetExceededNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusGatewayTimeout)
+		fmt.Fprint(w, `{"error":"er: resource budget exceeded","kind":"budget_exceeded"}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, nil)
+	_, err := c.Resolve(context.Background(), "people")
+	if !errors.Is(err, er.ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want er.ErrBudgetExceeded", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("error = %#v, want *APIError with status 504", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (504 must not be retried)", got)
+	}
+}
+
+// TestAttemptTimeoutBoundsHungServer: a server that never answers burns
+// one AttemptTimeout per attempt, not the whole call.
+func TestAttemptTimeoutBoundsHungServer(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-r.Context().Done() // hang until the client gives up on this attempt
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, func(o *Options) {
+		o.MaxAttempts = 2
+		o.AttemptTimeout = 50 * time.Millisecond
+	})
+	_, err := c.DropCollection(context.Background(), "people")
+	if err == nil {
+		t.Fatal("expected a transport error from the hung server")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (per-attempt timeout must fire per attempt)", got)
+	}
+}
+
+// TestOverallContextTerminal: once the caller's context ends, no further
+// attempts are made even though the failure class is retryable.
+func TestOverallContextTerminal(t *testing.T) {
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		cancel() // the caller walks away while the server fails over
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"serve: draining","kind":"draining"}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, nil)
+	_, err := c.CreateCollection(ctx, "people")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (canceled caller must not retry)", got)
+	}
+}
+
+// TestRetriesExhaustedReturnsLastError: a persistently unavailable server
+// yields the final attempt's taxonomy-mapped error.
+func TestRetriesExhaustedReturnsLastError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"serve: recovering","kind":"recovering"}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, func(o *Options) { o.MaxAttempts = 3 })
+	_, err := c.CreateCollection(context.Background(), "people")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("error = %v, want ErrUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestGetRequestsSendNoIdempotencyKey: reads are naturally idempotent and
+// must not consume dedup-journal capacity.
+func TestGetRequestsSendNoIdempotencyKey(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if k := r.Header.Get("Idempotency-Key"); k != "" {
+			t.Errorf("GET carried Idempotency-Key %q", k)
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"collections":[{"name":"people","records":2}]}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, nil)
+	cols, err := c.ListCollections(context.Background())
+	if err != nil {
+		t.Fatalf("ListCollections: %v", err)
+	}
+	if len(cols) != 1 || cols[0].Name != "people" || cols[0].Records != 2 {
+		t.Fatalf("collections = %+v", cols)
+	}
+}
+
+// TestResolveDecodesJobResult covers the happy resolve path end to end.
+func TestResolveDecodesJobResult(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/collections/people/resolve" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"job_id":"j1","state":"done","matches":4,"clusters":2,"duration_ms":12}`)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, nil)
+	res, err := c.Resolve(context.Background(), "people")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.JobID != "j1" || res.State != "done" || res.Matches != 4 || res.Clusters != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(res.Raw, &raw); err != nil || raw["duration_ms"] != float64(12) {
+		t.Fatalf("Raw did not retain the full body: %s (%v)", res.Raw, err)
+	}
+}
+
+// TestErrorTaxonomyRoundTrip pins the satellite contract: every sentinel
+// the library can emit survives the server's status+kind encoding and the
+// client's SentinelFor decoding unchanged, so errors.Is branches written
+// against the library keep working across the HTTP boundary.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	sentinels := []error{
+		er.ErrInvalidOptions,
+		er.ErrNoRecords,
+		er.ErrBadData,
+		er.ErrNoCandidates,
+		er.ErrBudgetExceeded,
+		er.ErrInternal,
+		context.Canceled,
+	}
+	for _, want := range sentinels {
+		status := er.HTTPStatus(want)
+		kind := serve.ErrKind(want)
+		got := SentinelFor(status, kind)
+		if !errors.Is(got, want) {
+			t.Errorf("SentinelFor(%d, %q) = %v, want errors.Is against %v", status, kind, got, want)
+		}
+	}
+	// Wrapped errors round-trip the same way: the server classifies by
+	// errors.Is, so decoration must not change the mapping.
+	wrapped := fmt.Errorf("pipeline: %w", er.ErrBadData)
+	if got := SentinelFor(er.HTTPStatus(wrapped), serve.ErrKind(wrapped)); !errors.Is(got, er.ErrBadData) {
+		t.Errorf("wrapped ErrBadData mapped to %v", got)
+	}
+}
+
+// TestSentinelForClientOnlyOutcomes covers the statuses with no er-package
+// counterpart.
+func TestSentinelForClientOnlyOutcomes(t *testing.T) {
+	cases := []struct {
+		status int
+		kind   string
+		want   error
+	}{
+		{404, "not_found", ErrNotFound},
+		{409, "exists", ErrExists},
+		{422, "idempotency_conflict", ErrIdempotencyConflict},
+		{429, "queue_full", ErrOverloaded},
+		{502, "", ErrUnavailable},
+		{503, "draining", ErrUnavailable},
+		{503, "recovering", ErrUnavailable},
+		{503, "breaker_open", ErrUnavailable},
+		{500, "internal", er.ErrInternal},
+		{418, "", er.ErrInvalidOptions},
+	}
+	for _, c := range cases {
+		if got := SentinelFor(c.status, c.kind); !errors.Is(got, c.want) {
+			t.Errorf("SentinelFor(%d, %q) = %v, want %v", c.status, c.kind, got, c.want)
+		}
+	}
+}
+
+// TestAPIErrorUnwrap: errors.Is works through the APIError wrapper, and
+// the message prefers the server's text.
+func TestAPIErrorUnwrap(t *testing.T) {
+	e := &APIError{Status: 404, Kind: "not_found", Message: "serve: collection not found"}
+	if !errors.Is(e, ErrNotFound) {
+		t.Fatal("APIError{404} should unwrap to ErrNotFound")
+	}
+	if e.Error() != "serve: collection not found" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	if got := (&APIError{Status: 502}).Error(); got != "client: http status 502" {
+		t.Fatalf("fallback Error() = %q", got)
+	}
+}
+
+// TestRetryableStatusTable pins the retry policy's exact membership.
+func TestRetryableStatusTable(t *testing.T) {
+	for status, want := range map[int]bool{
+		429: true, 502: true, 503: true,
+		400: false, 404: false, 409: false, 422: false, 499: false,
+		500: false, 504: false,
+	} {
+		if got := retryableStatus(status); got != want {
+			t.Errorf("retryableStatus(%d) = %v, want %v", status, got, want)
+		}
+	}
+}
+
+// TestOptionsValidate rejects broken configuration with ErrInvalidOptions.
+func TestOptionsValidate(t *testing.T) {
+	cases := []Options{
+		{},                                     // missing BaseURL
+		{BaseURL: "http://x", MaxAttempts: -1}, // negative attempts
+		{BaseURL: "http://x", BaseBackoff: -time.Second}, // negative backoff
+		{BaseURL: "http://x", MaxBackoff: -time.Second},  // negative cap
+	}
+	for i, o := range cases {
+		if _, err := New(o); !errors.Is(err, er.ErrInvalidOptions) {
+			t.Errorf("case %d: New(%+v) err = %v, want ErrInvalidOptions", i, o, err)
+		}
+	}
+	if _, err := New(Options{BaseURL: "http://127.0.0.1:1"}); err != nil {
+		t.Errorf("minimal valid options rejected: %v", err)
+	}
+}
+
+// TestBackoffCeilingGrowsAndCaps draws the jitter at each retry count and
+// checks every sample lands under the documented ceiling.
+func TestBackoffCeilingGrowsAndCaps(t *testing.T) {
+	c := newTestClient(t, "http://127.0.0.1:1", func(o *Options) {
+		o.BaseBackoff = 10 * time.Millisecond
+		o.MaxBackoff = 40 * time.Millisecond
+	})
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		40 * time.Millisecond, // retry 4: capped
+		40 * time.Millisecond, // far past the shift range: capped, no overflow
+	}
+	retries := []int{1, 2, 3, 4, 80}
+	for i, r := range retries {
+		for j := 0; j < 200; j++ {
+			if d := c.backoff(r, 0); d < 0 || d > ceilings[i] {
+				t.Fatalf("backoff(retries=%d) = %s, want within [0, %s]", r, d, ceilings[i])
+			}
+		}
+		if d := c.backoff(r, 2*time.Second); d != 2*time.Second {
+			t.Fatalf("backoff(retries=%d, retryAfter=2s) = %s, want the 2s floor", r, d)
+		}
+	}
+}

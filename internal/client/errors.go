@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strconv"
+
+	er "repro"
+)
+
+// Client-side sentinels for outcomes that only exist at the HTTP boundary
+// (the core taxonomy in the er package has no notion of "collection not
+// found" or "server draining"). Every error the client returns wraps one
+// of these or an er sentinel, so callers branch with errors.Is exactly as
+// they do against the library.
+var (
+	// ErrNotFound reports a 404: the collection or record does not exist.
+	ErrNotFound = errors.New("client: not found")
+
+	// ErrExists reports a 409: the collection already exists.
+	ErrExists = errors.New("client: already exists")
+
+	// ErrIdempotencyConflict reports a 422 idempotency_conflict: the
+	// idempotency key was already used for a different request body. This
+	// is a client bug (a reused key), never worth retrying.
+	ErrIdempotencyConflict = errors.New("client: idempotency key reused for a different request")
+
+	// ErrOverloaded reports a 429: the server's admission queue is full.
+	// The client retries these; callers see it only once attempts are
+	// exhausted.
+	ErrOverloaded = errors.New("client: server overloaded")
+
+	// ErrUnavailable reports a 502/503: draining, recovering, breaker open
+	// or storage failure. Retried like ErrOverloaded.
+	ErrUnavailable = errors.New("client: server unavailable")
+)
+
+// SentinelFor maps an HTTP status (plus the server's machine-readable
+// error kind, which disambiguates statuses shared by several taxonomy
+// classes) back onto the sentinel a caller should errors.Is against. It is
+// the inverse of er.HTTPStatus composed with serve.ErrKind, and the
+// round-trip test in this package pins that: every er sentinel survives
+// status→kind→sentinel unchanged.
+func SentinelFor(status int, kind string) error {
+	switch status {
+	case 400:
+		switch kind {
+		case "bad_data":
+			return er.ErrBadData
+		case "no_records":
+			return er.ErrNoRecords
+		default:
+			return er.ErrInvalidOptions
+		}
+	case 404:
+		return ErrNotFound
+	case 409:
+		return ErrExists
+	case 422:
+		if kind == "idempotency_conflict" {
+			return ErrIdempotencyConflict
+		}
+		return er.ErrNoCandidates
+	case 429:
+		return ErrOverloaded
+	case er.StatusClientClosedRequest:
+		return context.Canceled
+	case 502, 503:
+		return ErrUnavailable
+	case 504:
+		return er.ErrBudgetExceeded
+	default:
+		if status >= 500 {
+			return er.ErrInternal
+		}
+		return er.ErrInvalidOptions
+	}
+}
+
+// retryableStatus reports whether a failed attempt with this status is
+// worth retrying: transient capacity and availability conditions are; 504
+// is not — the job's own budget elapsed, and resubmitting the same work
+// under the same budget deterministically repeats the outcome.
+func retryableStatus(status int) bool {
+	switch status {
+	case 429, 502, 503:
+		return true
+	default:
+		return false
+	}
+}
+
+// APIError is a non-2xx response: the HTTP status, the server's
+// machine-readable kind, and its human-readable message. Unwrap yields the
+// sentinel SentinelFor maps the pair to, so errors.Is works through it.
+type APIError struct {
+	Status  int
+	Kind    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return "client: http status " + strconv.Itoa(e.Status)
+}
+
+func (e *APIError) Unwrap() error { return SentinelFor(e.Status, e.Kind) }

@@ -27,6 +27,10 @@ var determinismCallPackages = map[string]bool{
 	// clock or ambient env read there would make crash recovery depend on
 	// when (or where) the process restarted.
 	"repro/internal/wal": true,
+	// The retrying client's backoff schedule must be testable with an
+	// injected rand.Rand and its sleeps cancellable; ambient clock reads
+	// would smuggle untestable timing into the retry loop.
+	"repro/internal/client": true,
 }
 
 // determinismMapPackages additionally ban order-sensitive accumulation over
@@ -50,6 +54,9 @@ var determinismMapPackages = map[string]bool{
 	// identical segment bytes; map iteration must not order anything the
 	// journal writes or restores.
 	"repro/internal/wal": true,
+	// The client renders nothing ordered today, but it shares the serve
+	// wire format; keep it under the same discipline as it grows.
+	"repro/internal/client": true,
 }
 
 // Determinism returns the analyzer enforcing seeded, injected-ambient

@@ -23,7 +23,7 @@ import (
 func ErrWrap() *Analyzer {
 	return &Analyzer{
 		Name:    "errwrap",
-		Scope:   "repro, internal/wal",
+		Scope:   "repro, internal/{wal,client}",
 		Doc:     "public-API errors must wrap the errors.go taxonomy (%w); no ad-hoc sentinels",
 		Applies: func(pkgPath string) bool { return errWrapPackages[pkgPath] },
 		Run:     runErrWrap,
@@ -35,6 +35,9 @@ func ErrWrap() *Analyzer {
 var errWrapPackages = map[string]bool{
 	"repro":              true,
 	"repro/internal/wal": true,
+	// The client's sentinels are the er taxonomy's HTTP-side mirror;
+	// callers branch on them with errors.Is, so they are contract too.
+	"repro/internal/client": true,
 }
 
 func runErrWrap(p *Package) []Finding {

@@ -12,6 +12,10 @@ var lockHoldPackages = map[string]bool{
 	"repro/internal/serve":  true,
 	"repro/internal/wal":    true,
 	"repro/internal/engine": true,
+	// The client guards its shared rand.Rand with a mutex on the retry
+	// path; a sleep or network call under that lock would serialize every
+	// concurrent request's backoff.
+	"repro/internal/client": true,
 }
 
 // LockHold reports blocking operations performed while a sync.Mutex or
@@ -28,7 +32,7 @@ func LockHold() *Analyzer {
 	return &Analyzer{
 		Name:      "lockhold",
 		Doc:       "no blocking operation (fsync, durability wait, channel op, network I/O, sleep) while a mutex is held",
-		Scope:     "internal/{serve,wal,engine}",
+		Scope:     "internal/{serve,wal,engine,client}",
 		Applies:   func(pkgPath string) bool { return lockHoldPackages[pkgPath] },
 		RunModule: lockHoldModule,
 	}

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -56,16 +59,44 @@ type breaker struct {
 	threshold   int // <0 disables the breaker entirely
 	cooldown    time.Duration
 	maxCooldown time.Duration
+	jitter      func(time.Duration) time.Duration
 	classes     map[string]*breakerClass
 }
 
-func newBreaker(threshold int, cooldown, maxCooldown time.Duration, clk clock.Func) *breaker {
+// newBreaker builds a breaker. jitter randomizes each open interval when a
+// class trips (nil keeps the deterministic schedule — tests pin exact
+// transition times); production passes newEqualJitter so a fleet of
+// synchronized clients cannot re-trip a class in lockstep.
+func newBreaker(threshold int, cooldown, maxCooldown time.Duration, clk clock.Func, jitter func(time.Duration) time.Duration) *breaker {
+	if jitter == nil {
+		jitter = func(d time.Duration) time.Duration { return d }
+	}
 	return &breaker{
 		clock:       clock.OrSystem(clk),
 		threshold:   threshold,
 		cooldown:    cooldown,
 		maxCooldown: maxCooldown,
+		jitter:      jitter,
 		classes:     make(map[string]*breakerClass),
+	}
+}
+
+// newEqualJitter returns an equal-jitter randomizer: d maps uniformly into
+// [d/2, d], preserving at least half the intended backoff while decorrelating
+// the probe times of replicas that tripped together. The rng is seeded from
+// crypto/rand (a process-unique seed is the whole point; a deterministic one
+// would re-synchronize the fleet) and is only ever called under the
+// breaker's mutex, so the non-thread-safe rand.Rand is safe here.
+func newEqualJitter() func(time.Duration) time.Duration {
+	var seed [8]byte
+	_, _ = crand.Read(seed[:]) // a degenerate all-zero seed still jitters
+	rng := rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+	return func(d time.Duration) time.Duration {
+		half := d / 2
+		if half <= 0 {
+			return d
+		}
+		return half + time.Duration(rng.Int63n(int64(d-half)+1))
 	}
 }
 
@@ -167,13 +198,14 @@ func (b *breaker) onNeutral(key string) {
 	}
 }
 
-// trip moves a class to open with exponential backoff. Callers hold b.mu.
+// trip moves a class to open with jittered exponential backoff. Callers
+// hold b.mu.
 func (b *breaker) trip(c *breakerClass) {
 	c.trips++
 	c.state = breakerOpen
 	c.probing = false
 	c.failures = 0
-	c.openUntil = b.clock().Add(b.backoff(c.trips))
+	c.openUntil = b.clock().Add(b.jitter(b.backoff(c.trips)))
 }
 
 // backoff returns cooldown * 2^(trips-1), capped at maxCooldown.

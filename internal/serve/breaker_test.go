@@ -34,7 +34,7 @@ func (f *fakeClock) Advance(d time.Duration) {
 // clock.
 func TestBreakerStateMachine(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(3, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	b := newBreaker(3, 100*time.Millisecond, 400*time.Millisecond, clk.Now, nil)
 	const class = "replica:restaurant"
 
 	type step struct {
@@ -86,7 +86,7 @@ func TestBreakerStateMachine(t *testing.T) {
 // maxCooldown instead of growing without bound.
 func TestBreakerBackoffCap(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now, nil)
 	const class = "upload"
 
 	// Trip repeatedly: cooldowns should run 100ms, 200ms, 400ms, 400ms...
@@ -110,7 +110,7 @@ func TestBreakerBackoffCap(t *testing.T) {
 // another.
 func TestBreakerIndependentClasses(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now, nil)
 	b.onFailure("replica:paper")
 	if ok, _, _ := b.allow("replica:paper"); ok {
 		t.Fatal("tripped class should be blocked")
@@ -128,11 +128,61 @@ func TestBreakerIndependentClasses(t *testing.T) {
 // a pass-through.
 func TestBreakerDisabled(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(-1, 100*time.Millisecond, 400*time.Millisecond, clk.Now)
+	b := newBreaker(-1, 100*time.Millisecond, 400*time.Millisecond, clk.Now, nil)
 	for i := 0; i < 50; i++ {
 		b.onFailure("x")
 	}
 	if ok, probe, retryAfter := b.allow("x"); !ok || probe || retryAfter != 0 {
 		t.Fatalf("disabled breaker must always allow, got ok=%v probe=%v retryAfter=%s", ok, probe, retryAfter)
+	}
+}
+
+// TestEqualJitterBounds pins the jitter contract: every draw lands in
+// [d/2, d], so a tripped class always honors at least half its intended
+// backoff and never exceeds it.
+func TestEqualJitterBounds(t *testing.T) {
+	jitter := newEqualJitter()
+	for _, d := range []time.Duration{time.Millisecond, time.Second, 5 * time.Second, 2 * time.Minute} {
+		var min, max time.Duration
+		for i := 0; i < 500; i++ {
+			got := jitter(d)
+			if got < d/2 || got > d {
+				t.Fatalf("jitter(%s) = %s, want within [%s, %s]", d, got, d/2, d)
+			}
+			if i == 0 || got < min {
+				min = got
+			}
+			if got > max {
+				max = got
+			}
+		}
+		// 500 draws from a uniform range collapsing to one value would mean
+		// the jitter is not jittering.
+		if d >= time.Second && min == max {
+			t.Fatalf("jitter(%s) returned %s on all 500 draws", d, min)
+		}
+	}
+	// Degenerate inputs pass through untouched.
+	if got := jitter(0); got != 0 {
+		t.Fatalf("jitter(0) = %s", got)
+	}
+}
+
+// TestBreakerTripUsesJitter verifies the trip path routes the open window
+// through the injected jitter function.
+func TestBreakerTripUsesJitter(t *testing.T) {
+	clk := newFakeClock()
+	halved := func(d time.Duration) time.Duration { return d / 2 }
+	b := newBreaker(1, 100*time.Millisecond, 400*time.Millisecond, clk.Now, halved)
+	const class = "x"
+	b.onFailure(class)
+	if ok, _, _ := b.allow(class); ok {
+		t.Fatal("class should be open after trip")
+	}
+	// The halved jitter shrank the 100ms cooldown to 50ms.
+	clk.Advance(50 * time.Millisecond)
+	ok, probe, _ := b.allow(class)
+	if !ok || !probe {
+		t.Fatalf("allow after jittered cooldown: ok=%v probe=%v, want probe admission", ok, probe)
 	}
 }

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	er "repro"
 	"repro/internal/wal"
@@ -41,16 +43,29 @@ const (
 	mutDrop   byte = 2
 	mutUpsert byte = 3
 	mutDelete byte = 4
+	// mutEvict journals a dedup-table eviction (see dedupEntry): the keys
+	// it names stop being replayable. Journaling evictions is what makes
+	// the dedup table a pure function of the log — replay never consults
+	// the *current* capacity configuration, so restarting with a different
+	// DedupCapacity cannot silently resurrect or drop tracked keys.
+	mutEvict byte = 5
 )
 
+// maxIdempotencyKeyBytes bounds the Idempotency-Key header value. Tighter
+// than the WAL's own wal.MaxKeyBytes cap: keys appear in journal records,
+// snapshots and log lines.
+const maxIdempotencyKeyBytes = 128
+
 // mutation is the journaled form of one collection change; fields beyond
-// Collection are populated per type.
+// Collection are populated per type. Evict is set only on mutEvict
+// records.
 type mutation struct {
-	Collection string `json:"collection"`
-	ID         string `json:"id,omitempty"`
-	Entity     string `json:"entity,omitempty"`
-	Source     int    `json:"source,omitempty"`
-	Text       string `json:"text,omitempty"`
+	Collection string   `json:"collection,omitempty"`
+	ID         string   `json:"id,omitempty"`
+	Entity     string   `json:"entity,omitempty"`
+	Source     int      `json:"source,omitempty"`
+	Text       string   `json:"text,omitempty"`
+	Evict      []string `json:"evict,omitempty"`
 }
 
 // colRecord is one stored record: the er.Record fields, keyed by the
@@ -61,16 +76,71 @@ type colRecord struct {
 	Text   string `json:"text"`
 }
 
+// dedupEntry records one applied keyed mutation: the sequence number that
+// journaled it and the canonical request bytes, which is what lets a
+// retried request be answered with its original outcome (same seq to wait
+// on, same deterministic response) — and lets a *different* request
+// arriving under the same key be refused instead of silently dropped.
+type dedupEntry struct {
+	Key  string `json:"key"`
+	Seq  uint64 `json:"seq"`
+	Type byte   `json:"type"`
+	Data []byte `json:"data"`
+}
+
 // colStore is the in-memory state the WAL makes durable: collections of
-// records. It is mutated only through checkLocked+applyLocked (live path)
-// and apply (replay path), so journal order and state order always agree.
+// records, plus the idempotency dedup table. It is mutated only through
+// checkLocked+applyLocked (live path) and apply (replay path), so journal
+// order and state order always agree.
 type colStore struct {
 	mu   sync.RWMutex
 	cols map[string]map[string]colRecord
+
+	// dedup maps idempotency key → the mutation it already applied;
+	// dedupOrder is insertion (FIFO) order, the eviction order once the
+	// table exceeds dedupCap. Evictions are journaled (mutEvict) so the
+	// table replays identically regardless of the restarted server's
+	// capacity setting; replay itself never enforces the cap.
+	dedup      map[string]*dedupEntry
+	dedupOrder []string
+	dedupCap   int
+
+	replays   atomic.Int64 // keyed requests answered from the dedup table
+	conflicts atomic.Int64 // key reuse with a different request body
+	evictions atomic.Int64 // keys evicted from the table
 }
 
-func newColStore() *colStore {
-	return &colStore{cols: make(map[string]map[string]colRecord)}
+func newColStore(dedupCap int) *colStore {
+	return &colStore{
+		cols:     make(map[string]map[string]colRecord),
+		dedup:    make(map[string]*dedupEntry),
+		dedupCap: dedupCap,
+	}
+}
+
+// rememberLocked inserts one applied keyed mutation into the dedup table.
+// It never enforces capacity — the live path journals an eviction first
+// (see evictDedupOverflowLocked), and replay applies only what the journal
+// says.
+func (c *colStore) rememberLocked(key string, seq uint64, typ byte, data []byte) {
+	if _, ok := c.dedup[key]; !ok {
+		c.dedupOrder = append(c.dedupOrder, key)
+	}
+	c.dedup[key] = &dedupEntry{Key: key, Seq: seq, Type: typ, Data: data}
+}
+
+// forgetLocked removes one key from the dedup table and its FIFO order.
+func (c *colStore) forgetLocked(key string) {
+	if _, ok := c.dedup[key]; !ok {
+		return
+	}
+	delete(c.dedup, key)
+	for i, k := range c.dedupOrder {
+		if k == key {
+			c.dedupOrder = append(c.dedupOrder[:i], c.dedupOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // checkLocked validates a mutation against current state without applying
@@ -99,6 +169,9 @@ func (c *colStore) checkLocked(typ byte, m mutation) error {
 		if _, ok := col[m.ID]; !ok {
 			return fmt.Errorf("%w: %q in %q", ErrRecordNotFound, m.ID, m.Collection)
 		}
+	case mutEvict:
+		// Evicting an absent key is a no-op, so an evict record always
+		// applies — including after a snapshot already dropped the keys.
 	default:
 		return fmt.Errorf("%w: unknown mutation type %d", wal.ErrCorrupt, typ)
 	}
@@ -117,10 +190,18 @@ func (c *colStore) applyLocked(typ byte, m mutation) {
 		c.cols[m.Collection][m.ID] = colRecord{Entity: m.Entity, Source: m.Source, Text: m.Text}
 	case mutDelete:
 		delete(c.cols[m.Collection], m.ID)
+	case mutEvict:
+		for _, k := range m.Evict {
+			c.forgetLocked(k)
+		}
 	}
 }
 
-// apply replays one journaled mutation during recovery.
+// apply replays one journaled mutation during recovery. Keyed records
+// rebuild the dedup table exactly as the live path populated it, so a
+// client retrying across a crash still gets its original outcome; replay
+// never enforces the capacity cap — only journaled mutEvict records shrink
+// the table.
 func (c *colStore) apply(rec wal.Record) error {
 	var m mutation
 	if err := json.Unmarshal(rec.Data, &m); err != nil {
@@ -132,13 +213,20 @@ func (c *colStore) apply(rec wal.Record) error {
 		return fmt.Errorf("record %d does not apply: %w", rec.Seq, err)
 	}
 	c.applyLocked(rec.Type, m)
+	if rec.Key != "" && rec.Type != mutEvict {
+		c.rememberLocked(rec.Key, rec.Seq, rec.Type, rec.Data)
+	}
 	return nil
 }
 
 // snapshotState is the on-disk snapshot payload. encoding/json writes map
-// keys in sorted order, so equal states produce identical snapshots.
+// keys in sorted order, so equal states produce identical snapshots; the
+// dedup table rides along in FIFO order so compaction cannot erase the
+// replay window. A pre-idempotency snapshot simply has no dedup field and
+// restores an empty table.
 type snapshotState struct {
 	Collections map[string]map[string]colRecord `json:"collections"`
+	Dedup       []dedupEntry                    `json:"dedup,omitempty"`
 }
 
 // snapshotWithSeq serializes the whole store for wal.WriteSnapshot
@@ -149,7 +237,11 @@ type snapshotState struct {
 func (s *Server) snapshotWithSeq() ([]byte, uint64, error) {
 	s.cols.mu.RLock()
 	defer s.cols.mu.RUnlock()
-	data, err := json.Marshal(snapshotState{Collections: s.cols.cols})
+	st := snapshotState{Collections: s.cols.cols}
+	for _, key := range s.cols.dedupOrder {
+		st.Dedup = append(st.Dedup, *s.cols.dedup[key])
+	}
+	data, err := json.Marshal(st)
 	if err != nil {
 		return nil, 0, fmt.Errorf("serve: encoding collections snapshot: %w", err)
 	}
@@ -170,8 +262,19 @@ func (c *colStore) restoreJSON(data []byte) error {
 			st.Collections[name] = make(map[string]colRecord)
 		}
 	}
+	dedup := make(map[string]*dedupEntry, len(st.Dedup))
+	order := make([]string, 0, len(st.Dedup))
+	for i := range st.Dedup {
+		e := st.Dedup[i]
+		if _, ok := dedup[e.Key]; !ok {
+			order = append(order, e.Key)
+		}
+		dedup[e.Key] = &e
+	}
 	c.mu.Lock()
 	c.cols = st.Collections
+	c.dedup = dedup
+	c.dedupOrder = order
 	c.mu.Unlock()
 	return nil
 }
@@ -285,12 +388,29 @@ func validateRecordID(id string) error {
 	return nil
 }
 
+// mutOutcome reports how a mutation concluded: the journal sequence that
+// covers it and whether it was answered from the dedup table instead of
+// being applied again.
+type mutOutcome struct {
+	seq      uint64
+	replayed bool
+}
+
 // mutate is the single durable-write path: validate against state,
 // journal, apply — all under one store lock hold so WAL order equals
 // state order — then wait for the covering fsync outside the lock, which
 // is what lets concurrent mutations share one group commit. With no data
 // directory configured the store is ephemeral and the journal step is
-// skipped.
+// skipped (the dedup table still works, within the process lifetime).
+//
+// A non-empty key is the exactly-once contract: if the key was already
+// applied with the same canonical request bytes, nothing is re-applied —
+// the caller waits on the original record's durability and gets the
+// original outcome back; the same key with different bytes is refused
+// (422) rather than guessed at. Concurrent retries of the same logical
+// request serialize on the store lock: the first one in journals and
+// applies, every later one takes the replay path and waits on the same
+// sequence number.
 //
 // Mutations participate in the drain exactly like jobs: acquire an
 // in-flight slot, then re-check draining (Shutdown sets draining before
@@ -298,37 +418,65 @@ func validateRecordID(id string) error {
 // Shutdown's drain therefore waits out every in-flight mutation and
 // refuses new ones before finishDurability writes the final snapshot —
 // the snapshot can never race an acknowledged write out of the journal.
-func (s *Server) mutate(typ byte, m mutation) *httpError {
+func (s *Server) mutate(typ byte, m mutation, key string) (mutOutcome, *httpError) {
+	var out mutOutcome
 	if herr := s.collectionsReady(); herr != nil {
-		return herr
+		return out, herr
 	}
 	release := s.inflight.Acquire()
 	defer release()
 	if s.draining.Load() {
 		s.c.unavailable.Add(1)
-		return &httpError{status: http.StatusServiceUnavailable, kind: "draining",
-			message: ErrDraining.Error()}
+		return out, &httpError{status: http.StatusServiceUnavailable, kind: "draining",
+			message: ErrDraining.Error(), retryAfter: unavailableRetryAfter}
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
-		return &httpError{status: http.StatusInternalServerError, kind: "internal",
+		return out, &httpError{status: http.StatusInternalServerError, kind: "internal",
 			message: fmt.Sprintf("serve: encoding mutation: %v", err)}
 	}
 	s.cols.mu.Lock()
+	if key != "" {
+		if e, ok := s.cols.dedup[key]; ok {
+			if e.Type != typ || !bytes.Equal(e.Data, data) {
+				s.cols.conflicts.Add(1)
+				s.cols.mu.Unlock()
+				return out, &httpError{status: http.StatusUnprocessableEntity, kind: "idempotency_conflict",
+					message: fmt.Sprintf("serve: idempotency key %q was already used for a different request", key)}
+			}
+			seq := e.Seq
+			s.cols.replays.Add(1)
+			s.cols.mu.Unlock()
+			// The original apply may still be racing toward its fsync;
+			// the replayed ack must carry the same durability guarantee.
+			if s.walLog != nil {
+				if err := s.walLog.WaitDurable(s.baseCtx, seq); err != nil {
+					return out, &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
+						message: fmt.Sprintf("serve: awaiting durability: %v", err)}
+				}
+			}
+			out.seq, out.replayed = seq, true
+			return out, nil
+		}
+	}
 	if err := s.cols.checkLocked(typ, m); err != nil {
 		s.cols.mu.Unlock()
-		return mutationError(err)
+		return out, mutationError(err)
 	}
 	var seq uint64
 	if s.walLog != nil {
-		seq, err = s.walLog.Append(typ, data)
+		seq, err = s.walLog.AppendKeyed(typ, key, data)
 		if err != nil {
 			s.cols.mu.Unlock()
-			return &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
+			return out, &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
 				message: fmt.Sprintf("serve: journaling mutation: %v", err)}
 		}
 	}
 	s.cols.applyLocked(typ, m)
+	if key != "" {
+		s.cols.rememberLocked(key, seq, typ, data)
+		s.evictDedupOverflowLocked()
+	}
 	s.cols.mu.Unlock()
 	if s.walLog != nil {
 		// The wait runs under the server's lifecycle context, not the
@@ -339,11 +487,44 @@ func (s *Server) mutate(typ byte, m mutation) *httpError {
 		if err := s.walLog.WaitDurable(s.baseCtx, seq); err != nil {
 			// The mutation is applied in memory but its durability is
 			// unconfirmed; the client must not treat it as acknowledged.
-			return &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
+			return out, &httpError{status: http.StatusServiceUnavailable, kind: "storage_failed",
 				message: fmt.Sprintf("serve: awaiting durability: %v", err)}
 		}
 	}
-	return nil
+	out.seq = seq
+	return out, nil
+}
+
+// evictDedupOverflowLocked bounds the dedup table: once it exceeds the
+// configured capacity the oldest keys are journaled as one mutEvict record
+// and then dropped. Journal-before-forget keeps the table a pure function
+// of the log; the evict record's own durability is not waited on (losing
+// it to a crash merely replays a slightly larger table, never a wrong
+// answer). If journaling the eviction fails the keys are kept in memory —
+// an over-capacity table is safe, a key the log still replays but the
+// table forgot is not.
+func (s *Server) evictDedupOverflowLocked() {
+	c := s.cols
+	over := len(c.dedup) - c.dedupCap
+	if over <= 0 {
+		return
+	}
+	keys := append([]string(nil), c.dedupOrder[:over]...)
+	if s.walLog != nil {
+		data, err := json.Marshal(mutation{Evict: keys})
+		if err != nil {
+			s.opts.Logf("serve: encoding dedup eviction: %v", err)
+			return
+		}
+		if _, err := s.walLog.Append(mutEvict, data); err != nil {
+			s.opts.Logf("serve: dedup eviction not journaled, keys kept in memory: %v", err)
+			return
+		}
+	}
+	for _, k := range keys {
+		c.forgetLocked(k)
+	}
+	c.evictions.Add(int64(len(keys)))
 }
 
 // collectionsReady gates the collections API on recovery state.
@@ -354,7 +535,7 @@ func (s *Server) collectionsReady() *httpError {
 			message: fmt.Sprintf("serve: durable state unavailable: %v", s.recoveryError())}
 	case recoveryRunning:
 		return &httpError{status: http.StatusServiceUnavailable, kind: "recovering",
-			message: ErrRecovering.Error()}
+			message: ErrRecovering.Error(), retryAfter: unavailableRetryAfter}
 	}
 	return nil
 }
@@ -369,6 +550,40 @@ func mutationError(err error) *httpError {
 	default:
 		return &httpError{status: http.StatusBadRequest, kind: "bad_request", message: err.Error()}
 	}
+}
+
+// idempotencyKey extracts and validates the request's Idempotency-Key
+// header. Absent is fine (the mutation is simply not protected against
+// retries); present, it must fit the journal's key frame.
+func idempotencyKey(r *http.Request) (string, *httpError) {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxIdempotencyKeyBytes {
+		return "", &httpError{status: http.StatusBadRequest, kind: "invalid_options",
+			message: fmt.Sprintf("serve: Idempotency-Key must be at most %d bytes, got %d", maxIdempotencyKeyBytes, len(key))}
+	}
+	return key, nil
+}
+
+// mutateAndRespond runs one mutation through the durable-write path and
+// writes its response. The success body is rebuilt deterministically from
+// the request, so a replayed request (same key, same canonical bytes —
+// mutate enforced that) gets a byte-identical outcome to the original,
+// marked with an Idempotency-Replayed header.
+func (s *Server) mutateAndRespond(w http.ResponseWriter, r *http.Request, typ byte, m mutation, status int, body any) {
+	key, herr := idempotencyKey(r)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	out, herr := s.mutate(typ, m, key)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	if out.replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	writeJSON(w, status, body)
 }
 
 // handleCollectionCreate is POST /collections: {"name": "..."}.
@@ -386,11 +601,8 @@ func (s *Server) handleCollectionCreate(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
 		return
 	}
-	if herr := s.mutate(mutCreate, mutation{Collection: req.Name}); herr != nil {
-		writeError(w, herr.status, herr.kind, herr.message)
-		return
-	}
-	writeJSON(w, http.StatusCreated, collectionInfo{Name: req.Name})
+	s.mutateAndRespond(w, r, mutCreate, mutation{Collection: req.Name},
+		http.StatusCreated, collectionInfo{Name: req.Name})
 }
 
 // handleCollectionList is GET /collections.
@@ -420,11 +632,8 @@ func (s *Server) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
 // handleCollectionDrop is DELETE /collections/{name}.
 func (s *Server) handleCollectionDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if herr := s.mutate(mutDrop, mutation{Collection: name}); herr != nil {
-		writeError(w, herr.status, herr.kind, herr.message)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+	s.mutateAndRespond(w, r, mutDrop, mutation{Collection: name},
+		http.StatusOK, map[string]string{"dropped": name})
 }
 
 // handleRecordPut is PUT /collections/{name}/records/{id}:
@@ -443,21 +652,15 @@ func (s *Server) handleRecordPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := mutation{Collection: name, ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text}
-	if herr := s.mutate(mutUpsert, m); herr != nil {
-		writeError(w, herr.status, herr.kind, herr.message)
-		return
-	}
-	writeJSON(w, http.StatusOK, recordInfo{ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text})
+	s.mutateAndRespond(w, r, mutUpsert, m,
+		http.StatusOK, recordInfo{ID: id, Entity: req.Entity, Source: req.Source, Text: req.Text})
 }
 
 // handleRecordDelete is DELETE /collections/{name}/records/{id}.
 func (s *Server) handleRecordDelete(w http.ResponseWriter, r *http.Request) {
 	name, id := r.PathValue("name"), r.PathValue("id")
-	if herr := s.mutate(mutDelete, mutation{Collection: name, ID: id}); herr != nil {
-		writeError(w, herr.status, herr.kind, herr.message)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	s.mutateAndRespond(w, r, mutDelete, mutation{Collection: name, ID: id},
+		http.StatusOK, map[string]string{"deleted": id})
 }
 
 // handleCollectionResolve is POST /collections/{name}/resolve: snapshot

@@ -441,7 +441,7 @@ func TestDurableMutationsSurviveInWAL(t *testing.T) {
 		t.Fatalf("delete: status %d", status)
 	}
 
-	store := newColStore()
+	store := newColStore(DefaultDedupCapacity)
 	l, rec, err := wal.Open(context.Background(), wal.Options{
 		Dir:        dir,
 		OnSnapshot: func(_ uint64, data []byte) error { return store.restoreJSON(data) },

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -185,9 +186,29 @@ func writeError(w http.ResponseWriter, status int, kind, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg, Kind: kind})
 }
 
-// errKind names the taxonomy class of a terminal job error for machine
-// consumption, mirroring the er.HTTPStatus mapping.
-func errKind(err error) string {
+// unavailableRetryAfter is the Retry-After hint attached to transient
+// fast-fail rejections (full admission queue, draining, recovering): short,
+// because the condition clears on the order of a queue drain or a replay —
+// the breaker path computes its own, longer hint from the actual cooldown.
+const unavailableRetryAfter = time.Second
+
+// writeHTTPError writes an admission-path rejection, including its
+// Retry-After hint when the failure is transient. Ceil to whole seconds:
+// the header has one-second resolution and rounding down would invite a
+// retry that lands inside the window it was told to wait out.
+func writeHTTPError(w http.ResponseWriter, herr *httpError) {
+	if herr.retryAfter > 0 {
+		secs := int64((herr.retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, herr.status, herr.kind, herr.message)
+}
+
+// ErrKind names the taxonomy class of a terminal job error for machine
+// consumption, mirroring the er.HTTPStatus mapping. Exported so the HTTP
+// client can assert the status↔kind↔sentinel round trip against the same
+// table the server serializes from.
+func ErrKind(err error) string {
 	switch {
 	case err == nil:
 		return ""
@@ -230,9 +251,9 @@ func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Datase
 	ok, probe, retryAfter := s.breaker.allow(class)
 	if !ok {
 		s.c.tripped.Add(1)
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter/time.Second)+1))
-		writeError(w, http.StatusServiceUnavailable, "breaker_open",
-			fmt.Sprintf("serve: circuit open for class %q, retry in %s", class, retryAfter.Round(time.Millisecond)))
+		writeHTTPError(w, &httpError{status: http.StatusServiceUnavailable, kind: "breaker_open",
+			message:    fmt.Sprintf("serve: circuit open for class %q, retry in %s", class, retryAfter.Round(time.Millisecond)),
+			retryAfter: retryAfter})
 		return
 	}
 
@@ -242,7 +263,7 @@ func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Datase
 			// The probe never ran; free the half-open slot.
 			s.breaker.onNeutral(class)
 		}
-		writeError(w, herr.status, herr.kind, herr.message)
+		writeHTTPError(w, herr)
 		return
 	}
 	defer release()
@@ -260,7 +281,7 @@ func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Datase
 	}
 	if err != nil {
 		resp.Error = err.Error()
-		resp.Kind = errKind(err)
+		resp.Kind = ErrKind(err)
 		writeJSON(w, statusFor(err), resp)
 		return
 	}
@@ -335,7 +356,7 @@ func (s *Server) parseResolve(r *http.Request) (*er.Dataset, string, er.Options,
 			}
 			return nil, "", er.Options{}, &httpError{
 				status:  er.HTTPStatus(err),
-				kind:    errKind(err),
+				kind:    ErrKind(err),
 				message: err.Error(),
 			}
 		}
@@ -418,7 +439,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		resp.Error = err.Error()
-		resp.Kind = errKind(err)
+		resp.Kind = ErrKind(err)
 	}
 	fillResult(&resp, res, false)
 	writeJSON(w, http.StatusOK, resp)
@@ -438,11 +459,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // the replica must leave rotation even though reads still work.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
+		writeHTTPError(w, &httpError{status: http.StatusServiceUnavailable, kind: "draining",
+			message: ErrDraining.Error(), retryAfter: unavailableRetryAfter})
 		return
 	}
 	switch s.recoveryPhase() {
 	case recoveryRunning:
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(unavailableRetryAfter/time.Second), 10))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":            "recovering",
 			"kind":              "recovering",

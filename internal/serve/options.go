@@ -56,6 +56,9 @@ const (
 	// DefaultSnapshotCache is the snapshot-cache capacity selected by a
 	// zero Options.SnapshotCache.
 	DefaultSnapshotCache = 16
+	// DefaultDedupCapacity is the idempotency dedup-table bound selected by
+	// a zero Options.DedupCapacity.
+	DefaultDedupCapacity = 4096
 )
 
 // Options configures a Server. The zero value is valid: every field's zero
@@ -106,6 +109,14 @@ type Options struct {
 	// tokenization and blocking; cached stages show up in job traces with
 	// "cached". Zero selects DefaultSnapshotCache; negative disables reuse.
 	SnapshotCache int
+	// DedupCapacity bounds the idempotency dedup table: the number of
+	// distinct Idempotency-Key values whose outcomes stay replayable. The
+	// oldest keys are evicted (journaled, so replay agrees) once the bound
+	// is exceeded — a retry arriving after its key was evicted is applied
+	// as a fresh request, so size this above the worst-case number of
+	// logical mutations a client could still be retrying. Zero selects
+	// DefaultDedupCapacity; Validate rejects negative values.
+	DedupCapacity int
 	// DataDir is the directory holding the durable-collections journal
 	// (write-ahead log segments and snapshots). Zero (empty) disables
 	// durability: the collections API still works, but state lives only in
@@ -153,6 +164,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: serve: FsyncInterval requires a DataDir", er.ErrInvalidOptions)
 	case o.DataDir == "" && o.MaxSegmentBytes != 0:
 		return fmt.Errorf("%w: serve: MaxSegmentBytes requires a DataDir", er.ErrInvalidOptions)
+	case o.DedupCapacity < 0:
+		return fmt.Errorf("%w: serve: DedupCapacity must be >= 0, got %d", er.ErrInvalidOptions, o.DedupCapacity)
 	}
 	return nil
 }
@@ -198,6 +211,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotCache == 0 {
 		o.SnapshotCache = DefaultSnapshotCache
+	}
+	if o.DedupCapacity == 0 {
+		o.DedupCapacity = DefaultDedupCapacity
 	}
 	o.Clock = clock.OrSystem(o.Clock)
 	if o.Runner == nil {

@@ -83,9 +83,9 @@ func New(opts Options) (*Server, error) {
 		stopWorkers: make(chan struct{}),
 		baseCtx:     base,
 		kill:        kill,
-		breaker:     newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.BreakerMaxCooldown, o.Clock),
+		breaker:     newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.BreakerMaxCooldown, o.Clock, newEqualJitter()),
 		jobs:        newStore(o.RetainedJobs),
-		cols:        newColStore(),
+		cols:        newColStore(o.DedupCapacity),
 		queueLat:    newLatencyRing(o.LatencyWindow),
 		runLat:      newLatencyRing(o.LatencyWindow),
 		totalLat:    newLatencyRing(o.LatencyWindow),
@@ -125,9 +125,10 @@ func (s *Server) submit(reqCtx context.Context, class string, d *er.Dataset, opt
 		release()
 		s.c.unavailable.Add(1)
 		return nil, nil, &httpError{
-			status:  http.StatusServiceUnavailable,
-			kind:    "draining",
-			message: ErrDraining.Error(),
+			status:     http.StatusServiceUnavailable,
+			kind:       "draining",
+			message:    ErrDraining.Error(),
+			retryAfter: unavailableRetryAfter,
 		}
 	}
 
@@ -170,9 +171,10 @@ func (s *Server) submit(reqCtx context.Context, class string, d *er.Dataset, opt
 		release()
 		s.c.rejected.Add(1)
 		return nil, nil, &httpError{
-			status:  http.StatusTooManyRequests,
-			kind:    "queue_full",
-			message: fmt.Sprintf("serve: admission queue full (%d queued, %d running)", len(s.queue), s.c.running.Load()),
+			status:     http.StatusTooManyRequests,
+			kind:       "queue_full",
+			message:    fmt.Sprintf("serve: admission queue full (%d queued, %d running)", len(s.queue), s.c.running.Load()),
+			retryAfter: unavailableRetryAfter,
 		}
 	}
 }
@@ -397,6 +399,7 @@ func (s *Server) Stats() Stats {
 		Stages:         s.stages.snapshot(),
 		SnapshotCache:  snapshotCacheStats(s.snapshots),
 		Collections:    CollectionsStats{Collections: colCount, Records: recCount},
+		Idempotency:    s.cols.idempotencyStats(),
 		Durability:     s.durabilityStats(),
 	}
 }

@@ -179,6 +179,29 @@ type CollectionsStats struct {
 	Records     int `json:"records"`
 }
 
+// IdempotencyStats is the /stats view of the exactly-once dedup table.
+type IdempotencyStats struct {
+	TrackedKeys int   `json:"tracked_keys"`
+	Capacity    int   `json:"capacity"`
+	Replays     int64 `json:"replays"`
+	Conflicts   int64 `json:"conflicts"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// idempotencyStats snapshots the dedup table's gauges and counters.
+func (c *colStore) idempotencyStats() IdempotencyStats {
+	c.mu.RLock()
+	tracked := len(c.dedup)
+	c.mu.RUnlock()
+	return IdempotencyStats{
+		TrackedKeys: tracked,
+		Capacity:    c.dedupCap,
+		Replays:     c.replays.Load(),
+		Conflicts:   c.conflicts.Load(),
+		Evictions:   c.evictions.Load(),
+	}
+}
+
 // DurabilityStats is the /stats view of the journal and its recovery;
 // omitted entirely when no DataDir is configured.
 type DurabilityStats struct {
@@ -213,5 +236,6 @@ type Stats struct {
 	Stages         []StageStats        `json:"stages"`
 	SnapshotCache  SnapshotCacheStats  `json:"snapshot_cache"`
 	Collections    CollectionsStats    `json:"collections"`
+	Idempotency    IdempotencyStats    `json:"idempotency"`
 	Durability     *DurabilityStats    `json:"durability,omitempty"`
 }

@@ -235,8 +235,8 @@ func TestCorruptionMatrix(t *testing.T) {
 func TestWrongSequenceIsCorruptEvenAtTail(t *testing.T) {
 	dir := t.TempDir()
 	buf := []byte(segMagic)
-	buf = appendFrame(buf, 1, 1, []byte("one"))
-	buf = appendFrame(buf, 3, 1, []byte("three")) // record 2 is missing
+	buf = appendFrame(buf, 1, 1, "", []byte("one"))
+	buf = appendFrame(buf, 3, 1, "", []byte("three")) // record 2 is missing
 	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.log"), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}

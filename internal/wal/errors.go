@@ -33,6 +33,10 @@ var (
 	// instead of allocating them.
 	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
 
+	// ErrKeyTooLarge reports an AppendKeyed idempotency key exceeding
+	// MaxKeyBytes; the v2 frame stores the key length in one byte.
+	ErrKeyTooLarge = errors.New("wal: idempotency key exceeds MaxKeyBytes")
+
 	// ErrSnapshotStale reports a WriteSnapshot whose coveredSeq no longer
 	// matches the log: a record was appended after the caller serialized
 	// its state. Nothing is written or deleted — accepting the snapshot

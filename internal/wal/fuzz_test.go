@@ -18,8 +18,8 @@ func FuzzWALReplay(f *testing.F) {
 	// segment truncated mid-frame, one with a flipped payload bit, a
 	// zero-filled tail, a wrong-sequence chain, and plain garbage.
 	healthy := []byte(segMagic)
-	healthy = appendFrame(healthy, 1, 1, []byte("fuzz-one"))
-	healthy = appendFrame(healthy, 2, 1, []byte("fuzz-two"))
+	healthy = appendFrame(healthy, 1, 1, "", []byte("fuzz-one"))
+	healthy = appendFrame(healthy, 2, 1, "", []byte("fuzz-two"))
 	f.Add([]byte{})
 	f.Add([]byte(segMagic))
 	f.Add(healthy)
@@ -28,7 +28,7 @@ func FuzzWALReplay(f *testing.F) {
 	flipped[len(flipped)-1] ^= 0x40
 	f.Add(flipped)
 	f.Add(append(append([]byte(nil), healthy...), make([]byte, 32)...))
-	wrongSeq := appendFrame([]byte(segMagic), 5, 1, []byte("starts at five"))
+	wrongSeq := appendFrame([]byte(segMagic), 5, 1, "", []byte("starts at five"))
 	f.Add(wrongSeq)
 	f.Add([]byte("not a segment at all"))
 

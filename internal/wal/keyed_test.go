@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"testing"
+)
+
+// encodeV1Frame builds a version-1 frame by hand, independently of
+// appendFrame, so the backward-compatibility tests pin the on-disk layout
+// rather than the encoder's own output.
+func encodeV1Frame(seq uint64, typ byte, data []byte) []byte {
+	payload := make([]byte, recordHeaderLen+len(data))
+	payload[0] = 1 // recordVersion1, spelled literally: this is the fixture
+	payload[1] = typ
+	binary.LittleEndian.PutUint64(payload[2:10], seq)
+	copy(payload[recordHeaderLen:], data)
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	return frame
+}
+
+func TestKeylessAppendStaysV1ByteIdentical(t *testing.T) {
+	got := appendFrame(nil, 42, 7, "", []byte("hello"))
+	want := encodeV1Frame(42, 7, []byte("hello"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("keyless appendFrame drifted from the v1 layout:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestKeyedFrameRoundTrip(t *testing.T) {
+	for _, key := range []string{"k", "retry-0123456789abcdef", strings.Repeat("x", MaxKeyBytes)} {
+		frame := appendFrame(nil, 9, 3, key, []byte("payload"))
+		rec, next, fault := decodeFrame(frame, 0, DefaultMaxRecordBytes)
+		if fault != nil {
+			t.Fatalf("key %d byte(s): decodeFrame: %v", len(key), fault)
+		}
+		if next != len(frame) {
+			t.Fatalf("key %d byte(s): consumed %d of %d byte(s)", len(key), next, len(frame))
+		}
+		if rec.Seq != 9 || rec.Type != 3 || rec.Key != key || string(rec.Data) != "payload" {
+			t.Fatalf("key %d byte(s): decoded %+v", len(key), rec)
+		}
+	}
+}
+
+func TestKeyedAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	keys := []string{"", "alpha", "", "beta", strings.Repeat("k", MaxKeyBytes)}
+	for i, key := range keys {
+		seq, err := l.AppendKeyed(1, key, payload(i+1))
+		if err != nil {
+			t.Fatalf("AppendKeyed %d: %v", i, err)
+		}
+		if err := l.WaitDurable(context.Background(), seq); err != nil {
+			t.Fatalf("WaitDurable %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if len(rec.Records) != len(keys) {
+		t.Fatalf("replayed %d record(s), want %d", len(rec.Records), len(keys))
+	}
+	for i, r := range rec.Records {
+		if r.Key != keys[i] {
+			t.Fatalf("record %d: key %q, want %q", i, r.Key, keys[i])
+		}
+		if !bytes.Equal(r.Data, payload(i+1)) {
+			t.Fatalf("record %d: data %q", i, r.Data)
+		}
+	}
+}
+
+// TestV1FixtureReplay replays a segment whose bytes were assembled by hand
+// in the pre-idempotency layout: a key-aware build must recover a journal
+// written before keys existed, unchanged.
+func TestV1FixtureReplay(t *testing.T) {
+	dir := t.TempDir()
+	buf := []byte(segMagic)
+	for i := 1; i <= 3; i++ {
+		buf = append(buf, encodeV1Frame(uint64(i), 1, payload(i))...)
+	}
+	if err := os.WriteFile(segPath(dir, 1), buf, 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	l, rec := openLog(t, Options{Dir: dir})
+	wantRecords(t, rec, 1, 3)
+	for i, r := range rec.Records {
+		if r.Key != "" {
+			t.Fatalf("v1 record %d replayed with key %q", i, r.Key)
+		}
+	}
+	// The upgraded log keeps appending — keyed and keyless — after the v1
+	// prefix, and the whole mixed chain replays.
+	if _, err := l.AppendDurable(context.Background(), 1, payload(4)); err != nil {
+		t.Fatalf("append after v1 replay: %v", err)
+	}
+	seq, err := l.AppendKeyed(1, "mixed", payload(5))
+	if err != nil {
+		t.Fatalf("AppendKeyed after v1 replay: %v", err)
+	}
+	if err := l.WaitDurable(context.Background(), seq); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec = openLog(t, Options{Dir: dir})
+	if len(rec.Records) != 5 {
+		t.Fatalf("mixed replay: %d record(s), want 5", len(rec.Records))
+	}
+	if rec.Records[4].Key != "mixed" || rec.Records[3].Key != "" {
+		t.Fatalf("mixed replay keys: %q then %q", rec.Records[3].Key, rec.Records[4].Key)
+	}
+}
+
+func TestAppendKeyedRejectsOversizedKey(t *testing.T) {
+	l, _ := openLog(t, Options{Dir: t.TempDir()})
+	_, err := l.AppendKeyed(1, strings.Repeat("x", MaxKeyBytes+1), []byte("data"))
+	if !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("oversized key: %v, want ErrKeyTooLarge", err)
+	}
+	// The refusal consumed no sequence number and left the log usable.
+	if _, err := l.AppendDurable(context.Background(), 1, payload(1)); err != nil {
+		t.Fatalf("append after refusal: %v", err)
+	}
+	if got := l.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq after refusal+append: %d, want 1", got)
+	}
+}
+
+func TestTornKeyedTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, Options{Dir: dir})
+	for i := 1; i <= 3; i++ {
+		seq, err := l.AppendKeyed(1, fmt.Sprintf("key-%d", i), payload(i))
+		if err != nil {
+			t.Fatalf("AppendKeyed %d: %v", i, err)
+		}
+		if err := l.WaitDurable(context.Background(), seq); err != nil {
+			t.Fatalf("WaitDurable %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Tear the final keyed frame mid-key, as a crash would.
+	path := segPath(dir, 1)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(path, info.Size()-int64(len(payload(3))+3)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	_, rec := openLog(t, Options{Dir: dir})
+	if !rec.TornTail || rec.TruncatedBytes == 0 {
+		t.Fatalf("torn keyed tail not reported: %+v", rec)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("replayed %d record(s) after tear, want 2", len(rec.Records))
+	}
+	if rec.Records[1].Key != "key-2" {
+		t.Fatalf("surviving record key %q, want key-2", rec.Records[1].Key)
+	}
+}
+
+// TestV2KeyLengthOverrun pins the bounds check: a v2 payload whose declared
+// key length overruns the payload must fail as a frame fault (torn-tail /
+// corruption path), never a slice panic.
+func TestV2KeyLengthOverrun(t *testing.T) {
+	payload := make([]byte, recordHeaderLen+1+2)
+	payload[0] = recordVersion2
+	payload[1] = 1
+	binary.LittleEndian.PutUint64(payload[2:10], 1)
+	payload[recordHeaderLen] = 200 // claims 200 key bytes; only 2 remain
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	if _, _, fault := decodeFrame(frame, 0, DefaultMaxRecordBytes); fault == nil {
+		t.Fatal("overrunning key length decoded without fault")
+	}
+}

@@ -6,25 +6,39 @@ import (
 	"hash/crc32"
 )
 
-// On-disk framing (DESIGN.md §11). Every record is one frame:
+// On-disk framing (DESIGN.md §11, §13). Every record is one frame:
 //
 //	offset 0  uint32 LE  payload length n
 //	offset 4  uint32 LE  CRC-32C (Castagnoli) of the payload
 //	offset 8  payload:
-//	          [0]     record-format version (recordVersion)
+//	          [0]     record-format version (1 or 2)
 //	          [1]     record type (caller-defined)
 //	          [2:10]  uint64 LE sequence number
-//	          [10:n]  caller data
+//	          v1: [10:n]          caller data
+//	          v2: [10]            idempotency-key length k (uint8)
+//	              [11:11+k]       idempotency key
+//	              [11+k:n]        caller data
+//
+// Version 1 is the pre-idempotency format; version 2 adds a caller-supplied
+// idempotency key between the header and the data. The writer emits v1 for
+// keyless records and v2 only when a key is present, so a log written by a
+// key-aware server with no keyed traffic is byte-identical to a v1 log, and
+// replay accepts both versions interleaved in one segment — an upgraded
+// server recovers a pre-idempotency journal unchanged.
 //
 // The checksum covers the whole payload, so a bit-flip anywhere in
-// version, type, sequence or data fails verification. The sequence number
-// inside the checksummed payload is what lets replay distinguish a torn
-// write (frame fails verification) from logical corruption (frame
+// version, type, sequence, key or data fails verification. The sequence
+// number inside the checksummed payload is what lets replay distinguish a
+// torn write (frame fails verification) from logical corruption (frame
 // verifies but its sequence breaks the chain).
 const (
 	frameHeaderLen  = 8
 	recordHeaderLen = 10
-	recordVersion   = 1
+	recordVersion1  = 1
+	recordVersion2  = 2
+	// MaxKeyBytes caps one record's idempotency key: the v2 frame stores
+	// the key length in a single byte.
+	MaxKeyBytes = 255
 )
 
 // segMagic / snapMagic are the 8-byte file headers of segment and
@@ -39,28 +53,43 @@ const (
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one journaled mutation: a caller-defined type byte and opaque
-// data, stamped with the log's monotonically increasing sequence number.
+// data, stamped with the log's monotonically increasing sequence number
+// and, for records appended through AppendKeyed, the caller's idempotency
+// key.
 type Record struct {
 	// Seq is the record's position in the log; the first record is 1.
 	Seq uint64
 	// Type is the caller-defined record kind.
 	Type byte
+	// Key is the idempotency key the record was appended with; empty for
+	// keyless (v1) records.
+	Key string
 	// Data is the caller's payload.
 	Data []byte
 }
 
-// appendFrame appends the encoded frame for (seq, typ, data) to dst.
-func appendFrame(dst []byte, seq uint64, typ byte, data []byte) []byte {
+// appendFrame appends the encoded frame for (seq, typ, key, data) to dst.
+// An empty key selects the v1 format; a non-empty key the v2 format.
+func appendFrame(dst []byte, seq uint64, typ byte, key string, data []byte) []byte {
+	var hdr [frameHeaderLen + recordHeaderLen + 1]byte
+	hdrLen := frameHeaderLen + recordHeaderLen
 	n := recordHeaderLen + len(data)
-	var hdr [frameHeaderLen + recordHeaderLen]byte
+	hdr[8] = recordVersion1
+	if key != "" {
+		hdr[8] = recordVersion2
+		hdr[frameHeaderLen+recordHeaderLen] = byte(len(key))
+		hdrLen++
+		n += 1 + len(key)
+	}
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
-	hdr[8] = recordVersion
 	hdr[9] = typ
 	binary.LittleEndian.PutUint64(hdr[10:18], seq)
-	crc := crc32.Update(0, crcTable, hdr[8:])
+	crc := crc32.Update(0, crcTable, hdr[frameHeaderLen:hdrLen])
+	crc = crc32.Update(crc, crcTable, []byte(key))
 	crc = crc32.Update(crc, crcTable, data)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
-	dst = append(dst, hdr[:]...)
+	dst = append(dst, hdr[:hdrLen]...)
+	dst = append(dst, key...)
 	return append(dst, data...)
 }
 
@@ -87,7 +116,7 @@ func decodeFrame(buf []byte, off int, maxRecord int) (Record, int, *frameFault) 
 	if n < recordHeaderLen {
 		return Record{}, 0, &frameFault{reason: fmt.Sprintf("payload length %d below record header size at offset %d", n, off)}
 	}
-	if n > maxRecord+recordHeaderLen {
+	if n > maxRecord+recordHeaderLen+1+MaxKeyBytes {
 		return Record{}, 0, &frameFault{reason: fmt.Sprintf("payload length %d exceeds MaxRecordBytes at offset %d", n, off)}
 	}
 	if rest < frameHeaderLen+n {
@@ -98,13 +127,28 @@ func decodeFrame(buf []byte, off int, maxRecord int) (Record, int, *frameFault) 
 	if got := crc32.Checksum(payload, crcTable); got != want {
 		return Record{}, 0, &frameFault{reason: fmt.Sprintf("checksum mismatch at offset %d: stored %08x, computed %08x", off, want, got)}
 	}
-	if payload[0] != recordVersion {
+	dataStart := recordHeaderLen
+	var key string
+	switch payload[0] {
+	case recordVersion1:
+	case recordVersion2:
+		if n < recordHeaderLen+1 {
+			return Record{}, 0, &frameFault{reason: fmt.Sprintf("v2 payload length %d below keyed header size at offset %d", n, off)}
+		}
+		keyLen := int(payload[recordHeaderLen])
+		if recordHeaderLen+1+keyLen > n {
+			return Record{}, 0, &frameFault{reason: fmt.Sprintf("v2 key length %d overruns payload at offset %d", keyLen, off)}
+		}
+		key = string(payload[recordHeaderLen+1 : recordHeaderLen+1+keyLen])
+		dataStart = recordHeaderLen + 1 + keyLen
+	default:
 		return Record{}, 0, &frameFault{reason: fmt.Sprintf("unsupported record version %d at offset %d", payload[0], off)}
 	}
 	rec := Record{
 		Seq:  binary.LittleEndian.Uint64(payload[2:10]),
 		Type: payload[1],
-		Data: append([]byte(nil), payload[recordHeaderLen:]...),
+		Key:  key,
+		Data: append([]byte(nil), payload[dataStart:]...),
 	}
 	return rec, off + frameHeaderLen + n, nil
 }

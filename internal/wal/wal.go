@@ -187,6 +187,15 @@ func snapPath(dir string, seq uint64) string {
 // the partial frame (the append fails with a typed error, the log stays
 // usable); an unrepairable failure wedges the log.
 func (l *Log) Append(typ byte, data []byte) (uint64, error) {
+	return l.AppendKeyed(typ, "", data)
+}
+
+// AppendKeyed is Append with an idempotency key journaled alongside the
+// record: replay surfaces it in Record.Key, which is what lets a restarted
+// server rebuild its dedup table from the log alone. An empty key writes
+// the v1 (keyless) frame, so logs without keyed traffic stay byte-identical
+// to the pre-idempotency format; keys are capped at MaxKeyBytes.
+func (l *Log) AppendKeyed(typ byte, key string, data []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.usableLocked(); err != nil {
@@ -195,7 +204,10 @@ func (l *Log) Append(typ byte, data []byte) (uint64, error) {
 	if len(data) > l.opts.MaxRecordBytes {
 		return 0, fmt.Errorf("%w: %d byte(s), cap %d", ErrTooLarge, len(data), l.opts.MaxRecordBytes)
 	}
-	frame := appendFrame(nil, l.nextSeq, typ, data)
+	if len(key) > MaxKeyBytes {
+		return 0, fmt.Errorf("%w: %d byte(s), cap %d", ErrKeyTooLarge, len(key), MaxKeyBytes)
+	}
+	frame := appendFrame(nil, l.nextSeq, typ, key, data)
 	if l.segSize > int64(len(segMagic)) && l.segSize+int64(len(frame)) > l.opts.MaxSegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
@@ -500,7 +512,7 @@ func (l *Log) writeSnapshotFileLocked(seq uint64, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot %s: %w", tmp, err)
 	}
-	buf := append([]byte(snapMagic), appendFrame(nil, seq, 0, data)...)
+	buf := append([]byte(snapMagic), appendFrame(nil, seq, 0, "", data)...)
 	cleanup := func(err error) error {
 		_ = f.Close()
 		_ = l.fs.Remove(tmp)

@@ -519,7 +519,7 @@ func TestParseSeqName(t *testing.T) {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	frame := appendFrame(nil, 42, 7, []byte("hello"))
+	frame := appendFrame(nil, 42, 7, "", []byte("hello"))
 	rec, next, fault := decodeFrame(frame, 0, DefaultMaxRecordBytes)
 	if fault != nil {
 		t.Fatalf("decodeFrame: %v", fault)

@@ -59,6 +59,13 @@ go test -race -shuffle=on ./...
 echo "==> crash-recovery acceptance (SIGKILL + replay)"
 go test -race -count=1 -run 'TestCrashRecoveryKill9' ./internal/faultcheck/
 
+# Likewise named: the exactly-once acceptance. Retried mutations driven
+# through the network-fault proxy (cut mid-request, dropped responses,
+# resets) — with a SIGKILL crash-restart in the middle — must journal each
+# logical request exactly once.
+echo "==> exactly-once chaos acceptance (netfault proxy + SIGKILL)"
+go test -race -count=1 -run 'TestNetFaultExactlyOnce' ./internal/faultcheck/
+
 echo "==> erserve smoke (boot, resolve, SIGKILL recovery, drain)"
 ./scripts/smoke_erserve.sh
 

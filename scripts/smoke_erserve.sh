@@ -17,6 +17,7 @@ pid=""
 trap 'if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; fi; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/erserve" ./cmd/erserve
+go build -o "$workdir/erctl" ./cmd/erctl
 
 # boot starts the daemon with the given extra flags and scrapes its
 # ephemeral listen address into $base. The daemon prints "erserve
@@ -104,6 +105,27 @@ for text in \
         -d "{\"text\":\"$text\"}" >/dev/null
     i=$((i + 1))
 done
+
+echo "==> erserve smoke: erctl CLI (retrying client, taxonomy exit codes)"
+erctl() { "$workdir/erctl" -addr "$base" "$@"; }
+erctl ready >/dev/null
+erctl put smoke r5 "mission chinese food 2234 mission st" >/dev/null
+erctl ls | grep -q 'smoke' || { echo "erctl ls missing collection" >&2; exit 1; }
+erctl ls smoke | grep -q 'r5' || { echo "erctl put did not land" >&2; exit 1; }
+erctl del smoke r5 >/dev/null
+# Creating an existing collection must fail with the documented conflict
+# exit code (4), not a generic 1.
+rc=0; erctl create smoke >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 4 ]; then
+    echo "erctl create on existing collection exited $rc, want 4 (conflict)" >&2
+    exit 1
+fi
+rc=0; erctl ls nosuch >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 3 ]; then
+    echo "erctl ls on missing collection exited $rc, want 3 (not found)" >&2
+    exit 1
+fi
+erctl stats | grep -q '"idempotency"' || { echo "erctl stats missing idempotency block" >&2; exit 1; }
 
 before=$(curl -sf -X POST "$base/collections/smoke/resolve?pairs=1" \
     -H 'Content-Type: application/json' -d '{"options":{"seed":7}}')

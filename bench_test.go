@@ -308,6 +308,40 @@ func BenchmarkResolveEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkFusionSharded100k measures the component-sharded fusion path
+// (the er default) on a 100000-record synthetic corpus across worker
+// counts. The corpus and its blocked candidate graph are shared across the
+// sub-benchmarks through a snapshot cache — the snapshot key is
+// worker-independent — so only the fusion stages are measured. Two fusion
+// iterations bound the op time; the scores are bit-identical at every
+// worker count (TestResolveShardingBitIdentical), so the workers=N samples
+// are directly comparable and erbenchjson derives speedup_vs_1_worker from
+// them. Skipped under -short: generation plus first blocking cost ~20s.
+func BenchmarkFusionSharded100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k corpus setup is seconds-scale; skipped under -short")
+	}
+	d := er.SyntheticDataset(er.SyntheticConfig{
+		Records:       100000,
+		DuplicateRate: 0.3,
+		VocabSize:     50000,
+	})
+	cache := er.NewSnapshotCache(2)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := er.DefaultOptions()
+			opts.Workers = w
+			opts.FusionIterations = 2
+			opts.Snapshots = cache
+			p := er.NewPipeline(d, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Fusion()
+			}
+		})
+	}
+}
+
 // BenchmarkResolveStages measures the full pipeline per replica and
 // reports each stage's wall time from the engine trace as a stage-*-ms
 // metric; cmd/erbenchjson folds these into BENCH_core.json.

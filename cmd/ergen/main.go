@@ -1,9 +1,19 @@
-// Command ergen writes the synthetic benchmark replicas to CSV files in the
-// format accepted by cmd/erresolve and er.LoadCSV.
+// Command ergen writes synthetic benchmark corpora to CSV files in the
+// format accepted by cmd/erresolve, cmd/erbench -input and er.LoadCSV.
 //
-// Usage:
+// It has two modes. Replica mode (the default) regenerates the paper's
+// three benchmark replicas at their published sizes:
 //
 //	ergen [-dataset restaurant|product|paper|all] [-scale 1.0] [-seed 1] [-out DIR]
+//
+// Synthetic mode, selected by -records N, generates an open-scale labeled
+// corpus (10^5–10^7 records) with Zipf-skewed term distributions, a
+// tunable duplication rate and optional multi-source structure — the
+// input for the 100k+ scaling benchmarks:
+//
+//	ergen -records 100000 [-dup 0.3] [-sources 1] [-max-cluster 8]
+//	      [-vocab 4096] [-zipf 2.0] [-tokens 8] [-name synthetic]
+//	      [-seed 1] [-out DIR]
 package main
 
 import (
@@ -20,7 +30,37 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "replica scale (1.0 = published dataset sizes)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", ".", "output directory")
+
+	records := flag.Int("records", 0, "synthetic mode: exact record count (0 = replica mode)")
+	dup := flag.Float64("dup", 0.3, "synthetic mode: duplication rate in [0, 0.95]")
+	sources := flag.Int("sources", 1, "synthetic mode: number of record sources")
+	maxCluster := flag.Int("max-cluster", 8, "synthetic mode: max records per entity")
+	vocab := flag.Int("vocab", 4096, "synthetic mode: shared vocabulary size")
+	zipf := flag.Float64("zipf", 2.0, "synthetic mode: term-distribution skew exponent")
+	tokens := flag.Int("tokens", 8, "synthetic mode: approximate description length")
+	name := flag.String("name", "synthetic", "synthetic mode: dataset name and output file stem")
 	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *records > 0 {
+		d := er.SyntheticDataset(er.SyntheticConfig{
+			Seed:            *seed,
+			Records:         *records,
+			DuplicateRate:   *dup,
+			MaxClusterSize:  *maxCluster,
+			Sources:         *sources,
+			VocabSize:       *vocab,
+			ZipfExponent:    *zipf,
+			TokensPerRecord: *tokens,
+			Name:            *name,
+		})
+		writeDataset(d, filepath.Join(*out, *name+".csv"))
+		return
+	}
 
 	cfg := er.ReplicaConfig{Seed: *seed, Scale: *scale}
 	gens := map[string]func(er.ReplicaConfig) *er.Dataset{
@@ -36,28 +76,28 @@ func main() {
 		}
 		names = []string{*dataset}
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	for _, n := range names {
+		writeDataset(gens[n](cfg), filepath.Join(*out, n+".csv"))
+	}
+}
+
+// writeDataset serializes one dataset and reports its shape, exiting on
+// any I/O failure.
+func writeDataset(d *er.Dataset, path string) {
+	f, err := os.Create(path)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
 		os.Exit(1)
 	}
-	for _, name := range names {
-		d := gens[name](cfg)
-		path := filepath.Join(*out, name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
-			os.Exit(1)
-		}
-		if err := d.WriteCSV(f); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "ergen: writing %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ergen: closing %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s: %d records, %d true matching pairs -> %s\n",
-			d.Name(), d.NumRecords(), d.NumTrueMatches(), path)
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "ergen: writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ergen: closing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d records, %d true matching pairs -> %s\n",
+		d.Name(), d.NumRecords(), d.NumTrueMatches(), path)
 }

@@ -158,6 +158,58 @@ func PaperReplica(cfg ReplicaConfig) *Dataset {
 	return &Dataset{ds: dataset.GenPaper(cfg.gen())}
 }
 
+// SyntheticConfig parameterizes SyntheticDataset, the open-scale corpus
+// generator. Every zero-value field selects a documented default, so
+// SyntheticConfig{Records: 100000} is a complete configuration; equal
+// configs always generate identical datasets.
+type SyntheticConfig struct {
+	// Seed drives all randomness. Zero selects the default seed 1.
+	Seed int64
+	// Records is the exact record count. Values below 1 default to 10000.
+	Records int
+	// DuplicateRate is the per-step probability of growing an entity's
+	// cluster by one more record (geometric, truncated at MaxClusterSize):
+	// 0 yields all singletons. Clamped to [0, 0.95].
+	DuplicateRate float64
+	// MaxClusterSize caps records per entity. Below 1 defaults to 8.
+	MaxClusterSize int
+	// Sources is the number of record origins; duplicates rotate through
+	// them so multi-source configs always produce cross-source matching
+	// pairs. Below 1 defaults to 1.
+	Sources int
+	// VocabSize is the shared filler vocabulary size. Below 16 defaults to
+	// 4096; above 100000 clamps.
+	VocabSize int
+	// ZipfExponent skews term draws toward the vocabulary head; larger is
+	// more skewed. At or below 0 defaults to 2.0.
+	ZipfExponent float64
+	// TokensPerRecord is the approximate description length. Below 1
+	// defaults to 8.
+	TokensPerRecord int
+	// Name labels the dataset. Empty defaults to "Synthetic".
+	Name string
+}
+
+// SyntheticDataset generates a labeled corpus at an arbitrary scale —
+// 10^5 to 10^7 records — with Zipf-skewed term distributions, a tunable
+// duplication rate and optional multi-source structure. Unlike the replica
+// generators, which are pinned to the published benchmark sizes, this is
+// the data source for the scaling benchmarks and cmd/ergen's -records
+// mode.
+func SyntheticDataset(cfg SyntheticConfig) *Dataset {
+	return &Dataset{ds: dataset.GenSynthetic(dataset.SyntheticConfig{
+		Seed:            cfg.Seed,
+		Records:         cfg.Records,
+		DuplicateRate:   cfg.DuplicateRate,
+		MaxClusterSize:  cfg.MaxClusterSize,
+		Sources:         cfg.Sources,
+		VocabSize:       cfg.VocabSize,
+		ZipfExponent:    cfg.ZipfExponent,
+		TokensPerRecord: cfg.TokensPerRecord,
+		Name:            cfg.Name,
+	})}
+}
+
 // internal returns the underlying dataset for same-module consumers
 // (cmd/erbench and the benchmark suite).
 func (d *Dataset) internal() *dataset.Dataset { return d.ds }

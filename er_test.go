@@ -2,6 +2,8 @@ package er
 
 import (
 	"bytes"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -113,6 +115,50 @@ func TestResolveReportsEvaluation(t *testing.T) {
 	}
 	if res.GraphNodes != d.NumRecords() {
 		t.Errorf("graph nodes = %d, want %d", res.GraphNodes, d.NumRecords())
+	}
+}
+
+// TestResolveShardingBitIdentical pins the public contract of the default
+// component-sharded rank path: Resolve with sharding (the default) must
+// reproduce the DisableSharding run bit for bit — probabilities,
+// similarities, matches, clusters and graph aggregates — at every worker
+// count. This is the end-to-end face of the core determinism suite.
+func TestResolveShardingBitIdentical(t *testing.T) {
+	d := ProductReplica(ReplicaConfig{Seed: 1, Scale: 0.25})
+	opts := DefaultOptions()
+	opts.DisableSharding = true
+	opts.Workers = 1
+	want, err := Resolve(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		got, err := Resolve(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.GraphNodes != want.GraphNodes || got.GraphEdges != want.GraphEdges {
+			t.Fatalf("workers=%d: graph %d/%d, want %d/%d",
+				w, got.GraphNodes, got.GraphEdges, want.GraphNodes, want.GraphEdges)
+		}
+		if len(got.Probabilities) != len(want.Probabilities) {
+			t.Fatalf("workers=%d: probabilities length %d != %d",
+				w, len(got.Probabilities), len(want.Probabilities))
+		}
+		for i := range want.Probabilities {
+			if math.Float64bits(got.Probabilities[i]) != math.Float64bits(want.Probabilities[i]) {
+				t.Fatalf("workers=%d: p[%d] = %v, want %v",
+					w, i, got.Probabilities[i], want.Probabilities[i])
+			}
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) {
+			t.Fatalf("workers=%d: matches diverge from unsharded run", w)
+		}
+		if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+			t.Fatalf("workers=%d: clusters diverge from unsharded run", w)
+		}
 	}
 }
 

@@ -52,3 +52,36 @@ func TestFusionInnerLoopAllocs(t *testing.T) {
 		t.Errorf("CliqueRankInto allocates %.0f times with warm arena, budget 60", got)
 	}
 }
+
+// TestCliqueRankAllocsFlatAcrossWorkers pins the fix for the per-worker
+// allocation growth the fixed-grain scheduler used to cause: the old fan-out
+// spawned fresh goroutine closures per chunk, so CliqueRank's allocs_op
+// climbed 40 → 200 → 280 going from 1 to 2 to 4 workers. With the pooled
+// ForGrain jobs the fan-out itself is allocation-free, so the kernel's
+// count must stay flat (within a small slack for pool misses) as workers
+// grow.
+func TestCliqueRankAllocsFlatAcrossWorkers(t *testing.T) {
+	_, g := productScaleGraph(t)
+	opts := DefaultOptions()
+	iter := RunITER(g, onesP(g), opts, rand.New(rand.NewSource(1)))
+	ar := &arena{}
+	rg := buildRecordGraph(g, iter.S, g.NumRecords, ar)
+	defer rg.release()
+	pbuf := make([]float64, g.NumPairs())
+
+	measure := func(w int) float64 {
+		opts.Workers = w
+		CliqueRankInto(rg, opts, pbuf) // warm the arena and goroutine pools
+		return testing.AllocsPerRun(5, func() { CliqueRankInto(rg, opts, pbuf) })
+	}
+	serial := measure(1)
+	if serial > 60 {
+		t.Errorf("workers=1: %.0f allocs, budget 60", serial)
+	}
+	for _, w := range []int{2, 4} {
+		if got := measure(w); got > serial+10 {
+			t.Errorf("workers=%d: %.0f allocs vs %.0f serial; fan-out must not allocate per worker",
+				w, got, serial)
+		}
+	}
+}

@@ -71,7 +71,14 @@ func CliqueRankInto(rg *RecordGraph, opts Options, p []float64) {
 			boost[q] = math.Pow(1+b, opts.Alpha)
 		}
 	}
-	parallel.For(workers, pat.N, func(lo, hi int) {
+	// Grains are pure functions of the graph shape (never the worker
+	// count), so the chunk sets — and with them the bits — are identical
+	// for every Workers setting. The row pass costs ~deg(i) pow calls per
+	// row, the accumulate pass one add per slot, so the default Grain=256
+	// rows is far too coarse for the former and too fine for the latter.
+	rowGrain := parallel.GrainFor(pat.N, nnz+pat.N, 512)
+	const addGrain = 8192
+	parallel.ForGrain(workers, pat.N, rowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			// One poll per row bounds post-cancellation work to a row per
 			// worker; the torn matrices are discarded by RunFusion together
@@ -124,7 +131,6 @@ func CliqueRankInto(rg *RecordGraph, opts Options, p []float64) {
 		// safe). Per-slot accumulation is element-wise, hence order-free.
 		acc := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 		copy(acc.Val, mb.Val)
-		at := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 		cur := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 		next := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
 		a := mb
@@ -134,25 +140,53 @@ func CliqueRankInto(rg *RecordGraph, opts Options, p []float64) {
 				acc.Val[k] += addSrc[k]
 			}
 		}
-		for step := 2; step <= opts.Steps; step++ {
-			// One poll per matrix power: each masked product is the
-			// expensive unit of work (Σ_i deg(i)² sparse dots), so a
-			// canceled run gives up at most one power of latency.
-			if opts.Check.Err() != nil {
-				break
+		// The masked product runs through a MaskPlan: the per-slot merges
+		// and the dead rows are resolved once, and every step is then a
+		// branch-free gather — bit-identical to the transpose+merge kernel
+		// (the plan skips only terms that are exactly +0). One closure is
+		// hoisted over the whole loop; a and next are rebound per step.
+		var plan *matrix.MaskPlan
+		if opts.Steps >= 2 {
+			plan = matrix.BuildMaskPlan(mt, workers, 0)
+		}
+		if plan != nil {
+			mulRange := func(lo, hi int) { plan.MulRangeInto(next, mt, a, lo, hi) }
+			planGrain := plan.Grain()
+			for step := 2; step <= opts.Steps; step++ {
+				// One poll per matrix power: each masked product is the
+				// expensive unit of work, so a canceled run gives up at
+				// most one power of latency.
+				if opts.Check.Err() != nil {
+					break
+				}
+				parallel.ForGrain(workers, nnz, planGrain, mulRange)
+				addSrc = next.Val
+				parallel.ForGrain(workers, nnz, addGrain, addIn)
+				a = next
+				next, cur = cur, next
 			}
-			a.TransposeInto(at)
-			matrix.MaskedMulInto(next, mt, at, workers)
-			addSrc = next.Val
-			parallel.For(workers, nnz, addIn)
-			a = next
-			next, cur = cur, next
+			plan.Release()
+		} else {
+			// Fallback when the plan would exceed its memory ceiling: the
+			// original transpose + merge product, same bits.
+			at := &matrix.PatVec{P: pat, Val: ar.getF64(nnz)}
+			for step := 2; step <= opts.Steps; step++ {
+				if opts.Check.Err() != nil {
+					break
+				}
+				a.TransposeInto(at)
+				matrix.MaskedMulInto(next, mt, at, workers)
+				addSrc = next.Val
+				parallel.ForGrain(workers, nnz, addGrain, addIn)
+				a = next
+				next, cur = cur, next
+			}
+			ar.putF64(at.Val)
 		}
 		probsFromPatternInto(rg, p, workers, func(slotIJ, slotJI int32) float64 {
 			return (clamp01(acc.Val[slotIJ]) + clamp01(acc.Val[slotJI])) / 2
 		})
 		ar.putF64(acc.Val)
-		ar.putF64(at.Val)
 		ar.putF64(cur.Val)
 		ar.putF64(next.Val)
 	}
@@ -217,7 +251,10 @@ func probsFromPattern(rg *RecordGraph, read func(slotIJ, slotJI int32) float64) 
 //
 //lint:hotpath runs every CliqueRank iteration over every kept pair; the AllocsPerRun tests pin its steady state at zero
 func probsFromPatternInto(rg *RecordGraph, p []float64, workers int, read func(slotIJ, slotJI int32) float64) {
-	parallel.For(workers, len(rg.PairSlot), func(lo, hi int) {
+	// Each pair costs two clamped loads; 4096 pairs per chunk amortize the
+	// handoff. The grain is a constant, so chunk sets stay worker-free.
+	const readoutGrain = 4096
+	parallel.ForGrain(workers, len(rg.PairSlot), readoutGrain, func(lo, hi int) {
 		for pid := lo; pid < hi; pid++ {
 			slot := rg.PairSlot[pid]
 			if slot < 0 {

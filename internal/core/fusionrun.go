@@ -50,6 +50,7 @@ type FusionRun struct {
 	res        *FusionResult
 	sc         *iterScratch
 	ar         *arena
+	shards     *shardSet
 	rounds     int
 	round      int
 }
@@ -131,7 +132,8 @@ func (f *FusionRun) StepGraph() (nodes, edges int) {
 		f.res.Graph.release()
 	}
 	f.res.Graph = buildRecordGraph(f.g, f.res.S, f.numRecords, f.ar)
-	return f.res.Graph.NumNodes(), f.res.Graph.NumEdges()
+	f.res.Nodes, f.res.Edges = f.res.Graph.NumNodes(), f.res.Graph.NumEdges()
+	return f.res.Nodes, f.res.Edges
 }
 
 // StepRank runs CliqueRank (or RSS) on the round's record graph, writing

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Component sharding (Options.ShardComponents) splits the rank phase of the
+// fusion loop by connected component of the *candidate* graph. Blocking
+// fixes the candidate pairs for the whole run, the record graph of every
+// round keeps a subset of those edges (similarity > 0), and CliqueRank
+// propagates mass only along record-graph edges — so no probability ever
+// flows between candidate components, and ranking each component on its own
+// local graph is exact, not an approximation. The partition is computed
+// once per run.
+//
+// ITER is not shardable the same way: its convergence test is a global
+// Σ|Δx_t| and its damping RNG draws in a fixed global sequence, so a
+// per-component ITER would change results. ITER therefore stays global and
+// only graph construction + CliqueRank shard.
+//
+// Determinism: components are ordered by their smallest record ID, local
+// node numbering preserves global record order, and each shard's pairs
+// keep global candidate order — so every per-shard kernel sees exactly the
+// rows (in the same order, with the same values) it would see inside the
+// global graph, and writes its slice of p bit-identically to the unsharded
+// run. Large components run one at a time with the full worker budget;
+// small components fan out across workers with one worker each, which
+// cannot change bits because a kernel's result is worker-independent.
+
+// bigShardPairs is the scheduling cut: components with at least this many
+// candidate pairs keep the full worker budget (row-level parallelism pays
+// off inside them), smaller ones become units of component-level fan-out.
+const bigShardPairs = 4096
+
+// shard is one connected component of the candidate graph.
+type shard struct {
+	// records lists the component's global record IDs, ascending; a
+	// record's position is its local node ID.
+	records []int32
+	// pairs lists the component's global candidate-pair IDs, ascending; a
+	// pair's position is its local pair index.
+	pairs []int32
+}
+
+// shardSet is the once-per-run component partition.
+type shardSet struct {
+	shards []shard
+	// recLocal maps a global record ID to its local node ID within its
+	// shard (-1 for records in no candidate pair).
+	recLocal []int32
+	// big and small split shard indexes by bigShardPairs; smallGrain is
+	// the precomputed fan-out chunk size over small (a pure function of
+	// the partition, so chunk sets are worker-independent).
+	big        []int32
+	small      []int32
+	smallGrain int
+}
+
+// partitionComponents computes the connected components of the candidate
+// graph. Records that appear in no candidate pair are left out — they have
+// no pairs to score, so excluding them changes nothing.
+func partitionComponents(g *blocking.Graph, numRecords int) *shardSet {
+	uf := graph.NewUnionFind(numRecords)
+	inPair := make([]bool, numRecords)
+	for _, pr := range g.Pairs {
+		uf.Union(int(pr.I), int(pr.J))
+		inPair[pr.I] = true
+		inPair[pr.J] = true
+	}
+
+	// Number components by first appearance in ascending record order, so
+	// the shard order (and with it every merged aggregate) is a pure
+	// function of the candidate graph.
+	compIdx := make([]int32, numRecords)
+	shardOf := make([]int32, numRecords)
+	for i := range compIdx {
+		compIdx[i] = -1
+	}
+	nshards := 0
+	for r := 0; r < numRecords; r++ {
+		if !inPair[r] {
+			shardOf[r] = -1
+			continue
+		}
+		root := uf.Find(r)
+		if compIdx[root] < 0 {
+			compIdx[root] = int32(nshards)
+			nshards++
+		}
+		shardOf[r] = compIdx[root]
+	}
+
+	recCount := make([]int32, nshards)
+	pairCount := make([]int32, nshards)
+	for r := 0; r < numRecords; r++ {
+		if shardOf[r] >= 0 {
+			recCount[shardOf[r]]++
+		}
+	}
+	for _, pr := range g.Pairs {
+		pairCount[shardOf[pr.I]]++
+	}
+	ss := &shardSet{shards: make([]shard, nshards), recLocal: make([]int32, numRecords)}
+	for si := range ss.shards {
+		ss.shards[si].records = make([]int32, 0, recCount[si])
+		ss.shards[si].pairs = make([]int32, 0, pairCount[si])
+	}
+	// Ascending r per shard: a record's local ID preserves the global
+	// order, so local neighbor lists sort identically to the global ones —
+	// the heart of the bit-identity argument.
+	for r := 0; r < numRecords; r++ {
+		si := shardOf[r]
+		if si < 0 {
+			ss.recLocal[r] = -1
+			continue
+		}
+		ss.recLocal[r] = int32(len(ss.shards[si].records))
+		ss.shards[si].records = append(ss.shards[si].records, int32(r))
+	}
+	for pid, pr := range g.Pairs {
+		si := shardOf[pr.I]
+		ss.shards[si].pairs = append(ss.shards[si].pairs, int32(pid))
+	}
+
+	smallPairs := 0
+	for si := range ss.shards {
+		if len(ss.shards[si].pairs) >= bigShardPairs {
+			ss.big = append(ss.big, int32(si))
+		} else {
+			ss.small = append(ss.small, int32(si))
+			smallPairs += len(ss.shards[si].pairs)
+		}
+	}
+	ss.smallGrain = parallel.GrainFor(len(ss.small), smallPairs+len(ss.small), 4096)
+	return ss
+}
+
+// buildShardGraph is buildRecordGraph restricted to one component: nodes
+// are renumbered through recLocal, and PairSlot/Edges are indexed by the
+// shard-local pair position rather than the global pair ID.
+func buildShardGraph(g *blocking.Graph, sh *shard, recLocal []int32, s []float64, ar *arena) *RecordGraph {
+	edges := ar.getEdges(len(sh.pairs))
+	kept := ar.getI32(len(sh.pairs))[:0]
+	for k, pid := range sh.pairs {
+		if s[pid] <= 0 {
+			continue
+		}
+		pr := g.Pairs[pid]
+		edges = append(edges, matrix.Edge{I: recLocal[pr.I], J: recLocal[pr.J]})
+		kept = append(kept, int32(k))
+	}
+	pat := matrix.NewPattern(len(sh.records), edges)
+	ar.putEdges(edges)
+	sv := &matrix.PatVec{P: pat, Val: ar.getF64(pat.NNZ())}
+	slot := ar.getI32(len(sh.pairs))
+	for i := range slot {
+		slot[i] = -1
+	}
+	for _, k := range kept {
+		pid := sh.pairs[k]
+		pr := g.Pairs[pid]
+		a := pat.Slot(int(recLocal[pr.I]), int(recLocal[pr.J]))
+		b := pat.Slot(int(recLocal[pr.J]), int(recLocal[pr.I]))
+		sv.Val[a] = s[pid]
+		sv.Val[b] = s[pid]
+		slot[k] = int32(a)
+	}
+	slotRow := ar.getI32(pat.NNZ())
+	//lint:ignore guardloop output-sized fill of the slot→row index; the surrounding fusion round polls between kernels
+	for i := 0; i < pat.N; i++ {
+		row := slotRow[pat.RowPtr[i]:pat.RowPtr[i+1]]
+		for k := range row {
+			row[k] = int32(i)
+		}
+	}
+	return &RecordGraph{Pattern: pat, S: sv, PairSlot: slot, Edges: kept, SlotRow: slotRow, arena: ar}
+}
+
+// shardArenas recycles per-task arenas for the small-component fan-out.
+// The fusion run's own arena is single-goroutine by contract, so each
+// fan-out chunk checks one out for exclusive use and returns it when done.
+var shardArenas = sync.Pool{New: func() any { return &arena{} }}
+
+// Partition computes the component partition once per run, enabling the
+// sharded rank step; it returns the component count. It is a no-op under
+// UseRSS (RSS's per-edge seeding already parallelizes over global pair IDs
+// and needs the global graph's Edges list).
+func (f *FusionRun) Partition() int {
+	if f.opts.UseRSS {
+		return 0
+	}
+	if f.shards == nil {
+		f.shards = partitionComponents(f.g, f.numRecords)
+	}
+	return len(f.shards.shards)
+}
+
+// Sharded reports whether Partition has prepared a component partition —
+// when true, drive rounds with StepITER + StepShardedRank instead of
+// StepITER + StepGraph + StepRank.
+func (f *FusionRun) Sharded() bool { return f.shards != nil }
+
+// rankShard scores one component: build its local record graph from the
+// round's similarities, run CliqueRank on it with the given worker budget,
+// and scatter the probabilities into the global p. Components whose pairs
+// all have similarity 0 write zeros directly — exactly what the global
+// graph's dropped-edge path produces. Returns the kept-edge count.
+func (f *FusionRun) rankShard(sh *shard, ar *arena, workers int) int {
+	s := f.res.S
+	kept := 0
+	for _, pid := range sh.pairs {
+		if s[pid] > 0 {
+			kept++
+		}
+	}
+	if kept == 0 {
+		for _, pid := range sh.pairs {
+			f.p[pid] = 0
+		}
+		return 0
+	}
+	rg := buildShardGraph(f.g, sh, f.shards.recLocal, s, ar)
+	opts := f.opts
+	opts.Workers = workers
+	pl := ar.getF64(len(sh.pairs))
+	CliqueRankInto(rg, opts, pl)
+	for k, pid := range sh.pairs {
+		f.p[pid] = pl[k]
+	}
+	ar.putF64(pl)
+	rg.release()
+	return kept
+}
+
+// StepShardedRank is the sharded replacement for StepGraph + StepRank: it
+// rebuilds and ranks every component's record graph, merges the per-shard
+// probabilities (disjoint slices of p, in deterministic component order),
+// and aggregates the node/edge counts into the result. Big components run
+// sequentially with the full worker budget; small ones fan out over
+// components with one worker each. It returns the total kept-edge count
+// and the checkpoint's error when the run was canceled.
+func (f *FusionRun) StepShardedRank() (edges int, err error) {
+	if err := f.opts.Check.Err(); err != nil {
+		return 0, err
+	}
+	ss := f.shards
+	res := f.res
+	if res.Graph != nil {
+		// A caller may have mixed unsharded rounds in; the global graph is
+		// stale the moment similarities change.
+		res.Graph.release()
+		res.Graph = nil
+	}
+	counts := f.ar.getI32(len(ss.shards))
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, si := range ss.big {
+		if f.opts.Check.Err() != nil {
+			break
+		}
+		counts[si] = int32(f.rankShard(&ss.shards[si], f.ar, f.opts.Workers))
+	}
+	if f.opts.Check.Err() == nil && len(ss.small) > 0 {
+		parallel.ForGrain(f.opts.Workers, len(ss.small), ss.smallGrain, func(lo, hi int) {
+			ar := shardArenas.Get().(*arena)
+			for k := lo; k < hi; k++ {
+				// One poll per component bounds post-cancellation work; the
+				// torn p slices are discarded with the error below.
+				if f.opts.Check.Err() != nil {
+					break
+				}
+				si := ss.small[k]
+				counts[si] = int32(f.rankShard(&ss.shards[si], ar, 1))
+			}
+			shardArenas.Put(ar)
+		})
+	}
+	if err := f.opts.Check.Err(); err != nil {
+		f.ar.putI32(counts)
+		return 0, err
+	}
+	for _, c := range counts {
+		edges += int(c)
+	}
+	f.ar.putI32(counts)
+	res.Nodes, res.Edges = f.numRecords, edges
+	res.NumericRepairs += sanitizeProbabilities(f.p)
+	if f.opts.Progress != nil {
+		f.opts.Progress(f.round, res.S, f.p, f.now().Sub(f.start))
+	}
+	return edges, nil
+}

@@ -9,6 +9,7 @@ package dataset
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/blocking"
@@ -113,13 +114,7 @@ func (d *Dataset) ClusterSizes() []int {
 	for _, s := range byEntity {
 		sizes = append(sizes, s)
 	}
-	for i := 0; i < len(sizes); i++ {
-		for j := i + 1; j < len(sizes); j++ {
-			if sizes[j] > sizes[i] {
-				sizes[i], sizes[j] = sizes[j], sizes[i]
-			}
-		}
-	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
 	return sizes
 }
 

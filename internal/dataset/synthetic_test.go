@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 7, Records: 500, DuplicateRate: 0.4, Sources: 2}
+	a := GenSynthetic(cfg)
+	b := GenSynthetic(cfg)
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("equal configs generated different datasets")
+	}
+	c := GenSynthetic(SyntheticConfig{Seed: 8, Records: 500, DuplicateRate: 0.4, Sources: 2})
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Fatal("different seeds generated identical datasets")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 1, Records: 2000, DuplicateRate: 0.5, MaxClusterSize: 5, Sources: 3}
+	d := GenSynthetic(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != cfg.Records {
+		t.Fatalf("records = %d, want exactly %d", d.NumRecords(), cfg.Records)
+	}
+	if !d.HasGroundTruth() {
+		t.Fatal("synthetic corpus must be fully labeled")
+	}
+	if d.NumSources != 3 {
+		t.Fatalf("sources = %d, want 3", d.NumSources)
+	}
+	sizes := d.ClusterSizes()
+	if sizes[0] > cfg.MaxClusterSize {
+		t.Fatalf("cluster of %d exceeds MaxClusterSize %d", sizes[0], cfg.MaxClusterSize)
+	}
+	if sizes[0] < 2 {
+		t.Fatal("DuplicateRate 0.5 produced no duplicate clusters")
+	}
+	if d.NumTrueMatches() == 0 {
+		t.Fatal("multi-source duplicates produced no cross-source matching pairs")
+	}
+}
+
+func TestSyntheticSingletonsOnly(t *testing.T) {
+	d := GenSynthetic(SyntheticConfig{Seed: 1, Records: 300, DuplicateRate: 0})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumTrueMatches(); got != 0 {
+		t.Fatalf("zero duplicate rate produced %d matching pairs", got)
+	}
+	for _, s := range d.ClusterSizes() {
+		if s != 1 {
+			t.Fatalf("cluster of size %d with DuplicateRate 0", s)
+		}
+	}
+}
+
+func TestSyntheticZeroValueDefaults(t *testing.T) {
+	a := GenSynthetic(SyntheticConfig{})
+	b := GenSynthetic(SyntheticConfig{Seed: 1, Records: 10000, MaxClusterSize: 8,
+		Sources: 1, VocabSize: 4096, ZipfExponent: 2.0, TokensPerRecord: 8, Name: "Synthetic"})
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("zero-value config must equal the documented defaults")
+	}
+	if a.NumRecords() != 10000 {
+		t.Fatalf("default records = %d, want 10000", a.NumRecords())
+	}
+}
+
+func TestSyntheticCrossSourceClusters(t *testing.T) {
+	d := GenSynthetic(SyntheticConfig{Seed: 3, Records: 1000, DuplicateRate: 0.6, Sources: 2})
+	bySources := map[int]map[int]bool{}
+	byCount := map[int]int{}
+	for _, r := range d.Records {
+		if bySources[r.EntityID] == nil {
+			bySources[r.EntityID] = map[int]bool{}
+		}
+		bySources[r.EntityID][r.Source] = true
+		byCount[r.EntityID]++
+	}
+	for e, n := range byCount {
+		if n > 1 && len(bySources[e]) < 2 {
+			t.Fatalf("entity %d has %d records all in one source; duplicates must rotate sources", e, n)
+		}
+	}
+}

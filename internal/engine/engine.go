@@ -33,6 +33,7 @@ import (
 const (
 	StageTokenize    = "tokenize"
 	StageBlock       = "block"
+	StagePartition   = "partition"
 	StageITER        = "iter"
 	StageRecordGraph = "recordgraph"
 	StageCliqueRank  = "cliquerank"

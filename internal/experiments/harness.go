@@ -102,6 +102,10 @@ func benchBlockingOptions(o er.Options, multiSource bool) blocking.Options {
 	}
 }
 
+// benchCoreOptions mirrors er.Options.coreOptions but deliberately leaves
+// ShardComponents off: the experiment tables (Table III, scaling) read the
+// concrete FusionResult.Graph, which the sharded path never materializes.
+// The scores are bit-identical either way, so the tables are unaffected.
 func benchCoreOptions(o er.Options) core.Options {
 	c := core.DefaultOptions()
 	c.Alpha = o.Alpha

@@ -31,6 +31,10 @@ var determinismCallPackages = map[string]bool{
 	// injected rand.Rand and its sleeps cancellable; ambient clock reads
 	// would smuggle untestable timing into the retry loop.
 	"repro/internal/client": true,
+	// The corpus generators promise identical datasets for equal configs
+	// — the property every determinism test upstream builds on — so all
+	// their randomness must flow from the seeded noiser RNG.
+	"repro/internal/dataset": true,
 }
 
 // determinismMapPackages additionally ban order-sensitive accumulation over
@@ -57,6 +61,10 @@ var determinismMapPackages = map[string]bool{
 	// The client renders nothing ordered today, but it shares the serve
 	// wire format; keep it under the same discipline as it grows.
 	"repro/internal/client": true,
+	// Dataset records and ground-truth summaries are position-aligned with
+	// downstream score vectors; map iteration must not order anything the
+	// generators or accessors emit.
+	"repro/internal/dataset": true,
 }
 
 // Determinism returns the analyzer enforcing seeded, injected-ambient

@@ -4,10 +4,11 @@
 // the dense and sparse matrix kernels — fans out through this package, so
 // there is exactly one place where the determinism argument has to hold:
 //
-//   - The index range [0, n) is split into fixed-size chunks of Grain
-//     elements. Chunk boundaries depend only on n and the grain — never on
-//     the worker count or GOMAXPROCS — so the set of fn(lo, hi) calls is
-//     identical for every Workers setting.
+//   - The index range [0, n) is split into fixed-size chunks (Grain
+//     elements by default; a per-kernel size via ForGrain/GrainFor). Chunk
+//     boundaries depend only on n and the grain — never on the worker
+//     count or GOMAXPROCS — so the set of fn(lo, hi) calls is identical
+//     for every Workers setting.
 //   - Workers race only for *which* chunk to run next (one atomic add), not
 //     for how a chunk is computed. A kernel whose chunks write disjoint
 //     state (out[lo:hi], a per-row slice) is therefore bit-identical serial
@@ -27,7 +28,7 @@ import (
 	"sync/atomic"
 )
 
-// Grain is the fixed chunk size, in elements (or rows), of every scheduled
+// Grain is the default chunk size, in elements (or rows), of a scheduled
 // loop. It is deliberately a package constant rather than a knob: changing
 // it changes the bracketing of chunked reductions, which would silently
 // shift bit-identical results between versions. 256 elements amortize one
@@ -35,7 +36,31 @@ import (
 // cheapest per-element kernels (an add and a multiply) win from fanning
 // out, while a sub-256 input stays on the caller's goroutine with no
 // scheduling overhead at all.
+//
+// Kernels whose per-element cost is far from that baseline pick their own
+// grain with ForGrain/GrainFor. Reductions (ReduceSum) always bracket at
+// Grain — their fold order is part of the bit-identity contract.
 const Grain = 256
+
+// GrainFor picks a chunk size for a loop of n items that together perform
+// roughly work abstract units, aiming for target units per chunk. It is a
+// pure function of the three sizes — never of the worker count or
+// GOMAXPROCS — so the chunk set it induces is deterministic, and results
+// of disjoint-write kernels stay bit-identical across worker counts. The
+// result is clamped to [1, n] (and to Grain when the sizes are degenerate).
+func GrainFor(n, work, target int) int {
+	if n <= 0 || work <= 0 || target <= 0 {
+		return Grain
+	}
+	g := int(int64(n) * int64(target) / int64(work))
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	return g
+}
 
 // Workers resolves a worker-count knob: values below 1 (the zero value of
 // the Workers options fields) select runtime.GOMAXPROCS(0), anything else
@@ -58,20 +83,71 @@ func chunks(n int) int { return (n + Grain - 1) / Grain }
 // bit-identical serial vs. parallel. When the input fits one chunk, or only
 // one worker is available, fn runs on the calling goroutine with no
 // goroutine or synchronization overhead.
-//
-//lint:hotpath every kernel fans out through For; anything allocated per chunk multiplies across the whole pipeline
 func For(workers, n int, fn func(lo, hi int)) {
+	ForGrain(workers, n, Grain, fn)
+}
+
+// forJob is the pooled fan-out state of ForGrain. The no-arg body method
+// value is bound once, when the pool constructs the job, so spawning a
+// worker is `go j.body()` — no per-invocation closure, which is what kept
+// CliqueRankProduct's allocs/op climbing with the worker count. The job is
+// recycled only after wg.Wait has seen every worker exit, so a pooled job
+// is never live on two invocations at once.
+type forJob struct {
+	next  atomic.Int64
+	wg    sync.WaitGroup
+	n     int
+	grain int
+	fn    func(lo, hi int)
+	body  func()
+}
+
+func (j *forJob) run() {
+	defer j.wg.Done()
+	for {
+		c := int(j.next.Add(1)) - 1
+		lo := c * j.grain
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+	}
+}
+
+var forJobs = sync.Pool{New: func() any {
+	j := &forJob{}
+	j.body = j.run
+	return j
+}}
+
+// ForGrain is For with an explicit chunk size. The grain must be a pure
+// function of the problem size (use GrainFor), never of the worker count:
+// the chunk set [0,g), [g,2g), … depends only on n and grain, so
+// disjoint-write kernels remain bit-identical across worker counts, just
+// as with For. The calling goroutine participates as one of the workers,
+// and the fan-out state is pooled, so a steady-state invocation performs
+// no allocation at any worker count.
+//
+//lint:hotpath every kernel fans out through ForGrain; anything allocated per chunk multiplies across the whole pipeline
+func ForGrain(workers, n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	nc := chunks(n)
+	if grain < 1 {
+		grain = 1
+	}
+	nc := (n + grain - 1) / grain
 	w := Workers(workers)
 	if w > nc {
 		w = nc
 	}
 	if w <= 1 {
-		for lo := 0; lo < n; lo += Grain {
-			hi := lo + Grain
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
 			if hi > n {
 				hi = n
 			}
@@ -79,28 +155,18 @@ func For(workers, n int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		//lint:ignore goleak workers drain a bounded chunk counter and exit; For returns only after wg.Wait sees them all finish
-		go func() { //lint:ignore hotalloc one closure per worker at fan-out, not per chunk; the loop bound is the worker count
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= nc {
-					return
-				}
-				lo := c * Grain
-				hi := lo + Grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
+	j := forJobs.Get().(*forJob)
+	j.next.Store(0)
+	j.n, j.grain, j.fn = n, grain, fn
+	j.wg.Add(w)
+	for i := 1; i < w; i++ {
+		//lint:ignore goleak workers drain a bounded chunk counter and exit; ForGrain returns only after wg.Wait sees them all finish
+		go j.body()
 	}
-	wg.Wait()
+	j.body()
+	j.wg.Wait()
+	j.fn = nil
+	forJobs.Put(j)
 }
 
 // partials recycles the per-chunk accumulator slices of ReduceSum so a

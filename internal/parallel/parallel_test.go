@@ -74,6 +74,110 @@ func TestForChunksAreFixed(t *testing.T) {
 	}
 }
 
+// TestForGrainCoversAllOnce asserts every index in [0, n) is visited
+// exactly once for a spread of explicit grains, sizes around the chunk
+// boundaries, and several worker counts.
+func TestForGrainCoversAllOnce(t *testing.T) {
+	for _, g := range []int{1, 3, 100, 4096} {
+		for _, n := range []int{0, 1, g - 1, g, g + 1, 3*g + 1, 10 * g} {
+			for _, w := range []int{0, 1, 2, 3, 16} {
+				visits := make([]int32, n)
+				var mu sync.Mutex
+				ForGrain(w, n, g, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("g=%d n=%d w=%d: bad chunk [%d,%d)", g, n, w, lo, hi)
+					}
+					if hi-lo > g {
+						t.Errorf("g=%d n=%d w=%d: oversize chunk [%d,%d)", g, n, w, lo, hi)
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						visits[i]++
+					}
+					mu.Unlock()
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("g=%d n=%d w=%d: index %d visited %d times", g, n, w, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForGrainChunksAreFixed asserts the chunk set is a pure function of
+// (n, grain): identical for every worker count, and aligned to multiples
+// of the grain.
+func TestForGrainChunksAreFixed(t *testing.T) {
+	n, g := 5*37+13, 37
+	ranges := func(w int) map[[2]int]bool {
+		var mu sync.Mutex
+		set := make(map[[2]int]bool)
+		ForGrain(w, n, g, func(lo, hi int) {
+			mu.Lock()
+			set[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return set
+	}
+	serial := ranges(1)
+	for r := range serial {
+		if r[0]%g != 0 {
+			t.Fatalf("chunk %v not aligned to grain %d", r, g)
+		}
+	}
+	for _, w := range []int{2, 4, 9} {
+		got := ranges(w)
+		if len(got) != len(serial) {
+			t.Fatalf("w=%d: %d chunks, serial has %d", w, len(got), len(serial))
+		}
+		for r := range serial {
+			if !got[r] {
+				t.Fatalf("w=%d: missing chunk %v", w, r)
+			}
+		}
+	}
+}
+
+// TestForGrainDegenerate pins the non-positive-grain fallback: the loop
+// must still cover [0, n) exactly once.
+func TestForGrainDegenerate(t *testing.T) {
+	n := 17
+	visits := make([]int32, n)
+	ForGrain(1, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visits[i]++
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("grain=0: index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestGrainFor(t *testing.T) {
+	cases := []struct {
+		n, work, target, want int
+	}{
+		{1000, 1000, 1, 1},             // one unit per item, one per chunk
+		{1000, 1000, 10, 10},           // ten items per chunk
+		{1000, 10_000, 100, 10},        // ten units per item
+		{100, 10, 1000, 100},           // clamp to n
+		{100, 1_000_000, 1, 1},         // clamp to 1
+		{0, 100, 100, Grain},           // degenerate n
+		{100, 0, 100, Grain},           // degenerate work
+		{100, 100, 0, Grain},           // degenerate target
+		{1 << 20, 1 << 40, 1 << 22, 4}, // no int overflow at large sizes
+	}
+	for _, c := range cases {
+		if got := GrainFor(c.n, c.work, c.target); got != c.want {
+			t.Errorf("GrainFor(%d, %d, %d) = %d, want %d", c.n, c.work, c.target, got, c.want)
+		}
+	}
+}
+
 // TestReduceSumBitIdentical asserts the reduction produces the exact same
 // float64 bits for every worker count, on inputs adversarial to naive
 // reassociation (alternating magnitudes).

@@ -351,8 +351,8 @@ func (p *Pipeline) fuseRun(ctx context.Context, run *engine.Run) (*FusionOutcome
 		Similarities:    res.S,
 		Probabilities:   res.P,
 		Matched:         res.Matches,
-		GraphNodes:      res.Graph.NumNodes(),
-		GraphEdges:      res.Graph.NumEdges(),
+		GraphNodes:      res.Nodes,
+		GraphEdges:      res.Edges,
 		ITERUpdateTrace: res.ITERTrace,
 		Converged:       res.Converged,
 		ITERIterations:  res.ITERIterations,

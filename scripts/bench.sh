@@ -4,15 +4,19 @@
 # Runs the core kernel benchmarks (ITER / CliqueRank / fusion, including the
 # Product-scale workers={1,2,4} fan-out matrix) plus the root package's
 # BenchmarkResolveStages (whose stage-<name>-ms metrics record the engine's
-# per-stage wall clock), pipes the output through cmd/erbenchjson, and
-# writes BENCH_core.json at the repo root: ns/op, B/op, allocs/op per
-# kernel and worker count, per-stage timings under stage_ms, each fan-out's
-# speedup against the same run's workers=1, and the serial speedup against
-# the committed pre-optimization seed in results/bench_baseline_seed.txt.
+# per-stage wall clock) and BenchmarkFusionSharded100k (the 100k-record
+# component-sharded fusion matrix), pipes the output through
+# cmd/erbenchjson, and writes BENCH_core.json at the repo root: ns/op,
+# B/op, allocs/op per kernel and worker count, per-stage timings under
+# stage_ms, each fan-out's speedup against the same run's workers=1, and
+# the serial speedup against the committed pre-optimization seed in
+# results/bench_baseline_seed.txt.
 #
 #   scripts/bench.sh            # full run (benchtime 2s; minutes)
-#   scripts/bench.sh -quick     # CI smoke: benchtime 50ms, timing is noise,
-#                               # but the file shape and the alloc counts
+#   scripts/bench.sh -quick     # CI smoke: benchtime 50ms and -short (the
+#                               # seconds-scale 100k corpus bench is
+#                               # skipped); timing is noise, but the file
+#                               # shape and the alloc counts
 #                               # (benchtime-independent) stay meaningful
 #
 # The raw `go test -bench` output is preserved in results/bench_latest.txt
@@ -21,8 +25,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime=2s
+short=""
 if [ "${1:-}" = "-quick" ]; then
     benchtime=50ms
+    short="-short"
 fi
 
 mkdir -p results
@@ -30,8 +36,8 @@ echo "==> go test -bench (benchtime $benchtime)" >&2
 go test ./internal/core/ -run xxx -bench 'ITER|CliqueRank|Fusion' \
     -benchmem -benchtime "$benchtime" -timeout 30m | tee results/bench_latest.txt
 
-echo "==> go test -bench ResolveStages (per-stage timings)" >&2
-go test . -run xxx -bench 'ResolveStages' \
+echo "==> go test -bench ResolveStages + FusionSharded100k (stage timings, 100k matrix)" >&2
+go test . -run xxx -bench 'ResolveStages|FusionSharded100k' $short \
     -benchtime "$benchtime" -timeout 30m | tee -a results/bench_latest.txt
 
 echo "==> erbenchjson -> BENCH_core.json" >&2

@@ -11,8 +11,15 @@
 //	erctl [flags] del <collection> <id>
 //	erctl [flags] ls [collection]
 //	erctl [flags] resolve <collection>
+//	erctl [flags] replay <collection> <trace.jsonl>
 //	erctl [flags] ready
 //	erctl [flags] stats
+//
+// replay streams a mutation trace (written by `ergen -mutations`) against
+// a collection: upsert and delete lines become record mutations, resolve
+// lines trigger a full-corpus resolve and print its match count plus the
+// delta-scoped work split (components re-fused vs reused) when the server
+// reports one.
 //
 // Exit codes follow the error taxonomy so scripts can branch without
 // parsing output: 0 success, 1 internal/unknown, 2 usage or invalid
@@ -21,6 +28,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -60,7 +69,7 @@ func run(argv []string) int {
 		verbose  = fs.Bool("v", false, "log each retry decision to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: erctl [flags] <create|drop|put|del|ls|resolve|ready|stats> [args]")
+		fmt.Fprintln(fs.Output(), "usage: erctl [flags] <create|drop|put|del|ls|resolve|replay|ready|stats> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -181,6 +190,11 @@ func dispatch(ctx context.Context, c *client.Client, cmd string, args []string) 
 			return err
 		}
 		return printJSON(res.Raw)
+	case "replay":
+		if err := need(2, "<collection> <trace.jsonl>"); err != nil {
+			return err
+		}
+		return replay(ctx, c, args[0], args[1])
 	case "ready":
 		if err := need(0, "no arguments"); err != nil {
 			return err
@@ -202,6 +216,83 @@ func dispatch(ctx context.Context, c *client.Client, cmd string, args []string) 
 	default:
 		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
 	}
+}
+
+// traceOp mirrors one line of an `ergen -mutations` trace.
+type traceOp struct {
+	Op     string `json:"op"`
+	ID     string `json:"id"`
+	Text   string `json:"text"`
+	Entity string `json:"entity"`
+	Source int    `json:"source"`
+}
+
+// resolveDelta is the delta-scoped work split a resolve response carries
+// when the server answered through the incremental path.
+type resolveDelta struct {
+	Components       int `json:"components"`
+	ComponentsFused  int `json:"components_fused"`
+	ComponentsReused int `json:"components_reused"`
+}
+
+// replay streams a mutation trace against a collection, resolving where
+// the trace says to and summarizing each resolve's delta-scoped work.
+func replay(ctx context.Context, c *client.Client, collection, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	defer f.Close()
+
+	var upserts, deletes, resolves int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var op traceOp
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return fmt.Errorf("%w: %s:%d: %v", er.ErrBadData, path, line, err)
+		}
+		switch op.Op {
+		case "upsert":
+			rec := client.Record{Text: op.Text, Entity: op.Entity, Source: op.Source}
+			if _, err := c.PutRecord(ctx, collection, op.ID, rec); err != nil {
+				return fmt.Errorf("%s:%d: upsert %s: %w", path, line, op.ID, err)
+			}
+			upserts++
+		case "delete":
+			if _, err := c.DeleteRecord(ctx, collection, op.ID); err != nil {
+				return fmt.Errorf("%s:%d: delete %s: %w", path, line, op.ID, err)
+			}
+			deletes++
+		case "resolve":
+			res, err := c.Resolve(ctx, collection)
+			if err != nil {
+				return fmt.Errorf("%s:%d: resolve: %w", path, line, err)
+			}
+			resolves++
+			var body struct {
+				Delta *resolveDelta `json:"delta"`
+			}
+			if err := json.Unmarshal(res.Raw, &body); err == nil && body.Delta != nil {
+				fmt.Printf("resolve #%d: %d matches, %d clusters, delta %d/%d components re-fused (%d reused)\n",
+					resolves, res.Matches, res.Clusters,
+					body.Delta.ComponentsFused, body.Delta.Components, body.Delta.ComponentsReused)
+			} else {
+				fmt.Printf("resolve #%d: %d matches, %d clusters\n", resolves, res.Matches, res.Clusters)
+			}
+		default:
+			return fmt.Errorf("%w: %s:%d: unknown op %q", er.ErrBadData, path, line, op.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%w: reading %s: %v", er.ErrBadData, path, err)
+	}
+	fmt.Printf("replayed %d upserts, %d deletes, %d resolves\n", upserts, deletes, resolves)
+	return nil
 }
 
 // report prints the success line unless the call failed.

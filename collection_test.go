@@ -1,0 +1,314 @@
+package er
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collectionRecord generates a deterministic synthetic record: a handful of
+// tokens drawn from a small vocabulary plus an entity-specific token pair,
+// so records of the same entity overlap heavily and cross-entity pairs
+// still share enough background vocabulary to produce candidate pairs.
+func collectionRecord(rng *rand.Rand, entity int) Record {
+	text := fmt.Sprintf("entity%d model%d", entity, entity)
+	for w := 0; w < 4; w++ {
+		text += fmt.Sprintf(" w%d", rng.Intn(30))
+	}
+	return Record{
+		Text:   text,
+		Source: rng.Intn(2),
+		Entity: fmt.Sprintf("e%d", entity),
+	}
+}
+
+func collectionOptions(workers int) Options {
+	o := DefaultOptions()
+	o.MaxDFRatio = 0.5
+	o.MinSharedTerms = 2
+	o.MinJaccard = 0.1
+	o.Workers = workers
+	return o
+}
+
+func requireResultsEqual(t *testing.T, want, got *Result) {
+	t.Helper()
+	if len(want.IDs) != len(got.IDs) {
+		t.Fatalf("IDs length: want %d, got %d", len(want.IDs), len(got.IDs))
+	}
+	for i := range want.IDs {
+		if want.IDs[i] != got.IDs[i] {
+			t.Fatalf("IDs[%d]: want %q, got %q", i, want.IDs[i], got.IDs[i])
+		}
+	}
+	if len(want.Probabilities) != len(got.Probabilities) {
+		t.Fatalf("probabilities length: want %d, got %d",
+			len(want.Probabilities), len(got.Probabilities))
+	}
+	for k := range want.Probabilities {
+		if math.Float64bits(want.Probabilities[k]) != math.Float64bits(got.Probabilities[k]) {
+			t.Fatalf("probability[%d]: want %v, got %v",
+				k, want.Probabilities[k], got.Probabilities[k])
+		}
+	}
+	if len(want.Matches) != len(got.Matches) {
+		t.Fatalf("matches: want %d, got %d", len(want.Matches), len(got.Matches))
+	}
+	for k := range want.Matches {
+		if want.Matches[k] != got.Matches[k] {
+			t.Fatalf("match[%d]: want %+v, got %+v", k, want.Matches[k], got.Matches[k])
+		}
+	}
+	if len(want.Clusters) != len(got.Clusters) {
+		t.Fatalf("clusters: want %d, got %d", len(want.Clusters), len(got.Clusters))
+	}
+	for ci := range want.Clusters {
+		if len(want.Clusters[ci]) != len(got.Clusters[ci]) {
+			t.Fatalf("cluster[%d] size: want %d, got %d",
+				ci, len(want.Clusters[ci]), len(got.Clusters[ci]))
+		}
+		for k := range want.Clusters[ci] {
+			if want.Clusters[ci][k] != got.Clusters[ci][k] {
+				t.Fatalf("cluster[%d][%d]: want %d, got %d",
+					ci, k, want.Clusters[ci][k], got.Clusters[ci][k])
+			}
+		}
+	}
+	if want.Converged != got.Converged {
+		t.Fatalf("converged: want %v, got %v", want.Converged, got.Converged)
+	}
+	if (want.Evaluation == nil) != (got.Evaluation == nil) {
+		t.Fatalf("evaluation presence: want %v, got %v",
+			want.Evaluation != nil, got.Evaluation != nil)
+	}
+	if want.Evaluation != nil && *want.Evaluation != *got.Evaluation {
+		t.Fatalf("evaluation: want %+v, got %+v", *want.Evaluation, *got.Evaluation)
+	}
+}
+
+// TestCollectionMatchesFreshResolve is the resolver half of the
+// incremental==batch property: after any sequence of upserts and deletes, a
+// mutated collection's resolve is bit-identical to resolving a fresh
+// collection built from the surviving records only — the warm component
+// cache must never change results, only skip work. Runs across worker
+// counts; the -race suite exercises the parallel batch materialization.
+func TestCollectionMatchesFreshResolve(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			c, err := NewCollection(collectionOptions(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make(map[string]Record)
+			var ids []string
+			for step := 0; step < 40; step++ {
+				switch {
+				case len(live) > 4 && rng.Intn(4) == 0: // delete
+					id := ids[rng.Intn(len(ids))]
+					if _, existed := c.Delete(id); existed != (func() bool { _, ok := live[id]; return ok })() {
+						t.Fatalf("step %d: delete %q existence mismatch", step, id)
+					}
+					delete(live, id)
+				default: // upsert (fresh or replacing)
+					id := fmt.Sprintf("r%02d", rng.Intn(30))
+					rec := collectionRecord(rng, rng.Intn(8))
+					c.Upsert(id, rec)
+					if _, ok := live[id]; !ok {
+						ids = append(ids, id)
+					}
+					live[id] = rec
+				}
+				if step%8 != 7 || len(live) == 0 {
+					continue
+				}
+				got, err := c.Resolve()
+				if err != nil {
+					t.Fatalf("step %d: incremental resolve: %v", step, err)
+				}
+				fresh, err := NewCollection(collectionOptions(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for id, rec := range live {
+					fresh.Upsert(id, rec)
+				}
+				want, err := fresh.Resolve()
+				if err != nil {
+					t.Fatalf("step %d: fresh resolve: %v", step, err)
+				}
+				requireResultsEqual(t, want, got)
+				if got.Delta == nil || want.Delta == nil {
+					t.Fatalf("step %d: missing delta stats", step)
+				}
+				if got.Delta.Components != want.Delta.Components {
+					t.Fatalf("step %d: components: want %d, got %d",
+						step, want.Delta.Components, got.Delta.Components)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectionDeltaReuse pins the point of the delta path: a resolve
+// after one small mutation re-fuses only the touched components and serves
+// the rest from the component cache.
+func TestCollectionDeltaReuse(t *testing.T) {
+	c, err := NewCollection(collectionOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint entities with no shared vocabulary across entities, so each
+	// entity is its own candidate-graph component; entity e has e+2 records,
+	// so every component is structurally distinct (equal structures would
+	// legitimately share one cache entry — the structural dedup the
+	// content keys buy — which is not what this test is about).
+	const entities = 12
+	for e := 0; e < entities; e++ {
+		for r := 0; r < e+2; r++ {
+			c.Upsert(fmt.Sprintf("e%02d-r%02d", e, r), Record{
+				Text:   fmt.Sprintf("alpha%02d beta%02d gamma%02d v%d", e, e, e, r),
+				Entity: fmt.Sprintf("e%02d", e),
+			})
+		}
+	}
+	first, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Delta.Components != entities || first.Delta.ComponentsFused != entities {
+		t.Fatalf("cold resolve should fuse every component: %+v", *first.Delta)
+	}
+
+	// Change entity 0's pair structure (drop one shared term), touching
+	// exactly that component.
+	d := c.Upsert("e00-r01", Record{
+		Text:   "alpha00 beta00 v1",
+		Entity: "e00",
+	})
+	if d.Rebuilt {
+		t.Fatalf("single-record upsert should not rebuild the pair table")
+	}
+	second, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Delta.ComponentsFused != 1 {
+		t.Fatalf("one-component mutation should re-fuse exactly 1 component, got %+v", *second.Delta)
+	}
+	if second.Delta.ComponentsReused != second.Delta.Components-1 {
+		t.Fatalf("unchanged components should be served from cache: %+v", *second.Delta)
+	}
+	// The trace carries the same split on the deltafuse stage.
+	st := second.Trace.Find("deltafuse")
+	if st == nil {
+		t.Fatal("no deltafuse stage in trace")
+	}
+	if st.ComponentsFused != 1 || st.ComponentsReused != second.Delta.ComponentsReused {
+		t.Fatalf("trace delta split mismatch: %+v vs %+v", *st, *second.Delta)
+	}
+	// A resolve with no intervening mutation reuses everything.
+	third, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Delta.ComponentsFused != 0 || third.Delta.ComponentsReused != third.Delta.Components {
+		t.Fatalf("no-op resolve should reuse every component: %+v", *third.Delta)
+	}
+	requireResultsEqual(t, second, third)
+}
+
+// TestCollectionSharedSnapshotCache verifies that a SnapshotCache handed
+// via Options.Snapshots memoizes component results across collections, and
+// reports the component counters through the public stats.
+func TestCollectionSharedSnapshotCache(t *testing.T) {
+	opts := collectionOptions(0)
+	opts.Snapshots = NewSnapshotCache(4)
+
+	build := func() *Collection {
+		c, err := NewCollection(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 5; e++ {
+			for r := 0; r < 2; r++ {
+				c.Upsert(fmt.Sprintf("e%d-r%d", e, r), Record{
+					Text: fmt.Sprintf("left%02d mid%02d right%02d v%d", e, e, e, r),
+				})
+			}
+		}
+		return c
+	}
+	if _, err := build().Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	stats := opts.Snapshots.Stats()
+	if stats.ComponentMisses == 0 || stats.ComponentEntries == 0 {
+		t.Fatalf("cold resolve should populate the component cache: %+v", stats)
+	}
+	second, err := build().Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Delta.ComponentsFused != 0 {
+		t.Fatalf("second collection with identical content should reuse every component: %+v", *second.Delta)
+	}
+	if got := opts.Snapshots.Stats(); got.ComponentHits == 0 {
+		t.Fatalf("component hits not reported: %+v", got)
+	}
+}
+
+// TestCollectionEvaluation checks that ground-truth metrics appear exactly
+// when every record is labeled, honoring CrossSourceOnly.
+func TestCollectionEvaluation(t *testing.T) {
+	opts := collectionOptions(0)
+	opts.CrossSourceOnly = true
+	c, err := NewCollection(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Upsert("a", Record{Text: "acme rocket skate x100", Source: 0, Entity: "rocket"})
+	c.Upsert("b", Record{Text: "acme rocket skate x100 deluxe", Source: 1, Entity: "rocket"})
+	res, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluation == nil {
+		t.Fatal("fully labeled collection should report evaluation")
+	}
+	if res.Evaluation.TP+res.Evaluation.FN != 1 {
+		t.Fatalf("one cross-source true pair expected: %+v", *res.Evaluation)
+	}
+
+	// Removing a label removes the evaluation.
+	c.Upsert("c", Record{Text: "unrelated widget press", Source: 0})
+	res, err = c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluation != nil {
+		t.Fatal("partially labeled collection must not report evaluation")
+	}
+}
+
+// TestCollectionEmpty pins the empty-collection contract.
+func TestCollectionEmpty(t *testing.T) {
+	c, err := NewCollection(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(); err != ErrNoRecords {
+		t.Fatalf("want ErrNoRecords, got %v", err)
+	}
+	c.Upsert("x", Record{Text: "solo record"})
+	if _, ok := c.Delete("x"); !ok {
+		t.Fatal("delete of live record should report true")
+	}
+	if _, ok := c.Delete("x"); ok {
+		t.Fatal("double delete should report false")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after delete: %d", c.Len())
+	}
+}

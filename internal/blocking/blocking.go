@@ -4,27 +4,27 @@
 // appears in both records. Pairs that share no term are excluded — exactly
 // the footnote of §VI ("two records are connected only if they share at
 // least one term"), which also defines the edge set of the record graph G_r.
+//
+// Since the incremental-blocking refactor this package is a façade over
+// internal/index, which owns the graph types, the parallel batch builder
+// and the mutable streaming index; Graph and Pair are aliases so every
+// existing consumer of the candidate graph keeps compiling unchanged.
 package blocking
 
 import (
-	"fmt"
-
 	"repro/internal/guard"
+	"repro/internal/index"
 	"repro/internal/textproc"
 )
 
 // Pair is a candidate record pair with I < J.
-type Pair struct {
-	I, J int32
-}
+type Pair = index.Pair
+
+// Graph is the candidate set plus the bipartite term/pair adjacency.
+type Graph = index.Graph
 
 // Key packs a pair into a map key.
-func Key(i, j int32) uint64 {
-	if i > j {
-		i, j = j, i
-	}
-	return uint64(uint32(i))<<32 | uint64(uint32(j))
-}
+func Key(i, j int32) uint64 { return index.Key(i, j) }
 
 // Options controls candidate generation.
 type Options struct {
@@ -61,59 +61,10 @@ type Options struct {
 	// canceled run aborts promptly instead of completing an O(Σ |block|²)
 	// pass on adversarial input. Build returns the checkpoint's error.
 	Check *guard.Checkpoint
-}
-
-// Graph is the candidate set plus the bipartite term/pair adjacency.
-type Graph struct {
-	NumRecords int
-	NumTerms   int
-	// Pairs lists the candidate pairs; the slice index is the pair-node ID.
-	Pairs []Pair
-	// Index maps Key(i,j) to the pair-node ID.
-	Index map[uint64]int32
-	// TermPairs holds, per term, the IDs of the pair nodes it connects to.
-	// len(TermPairs[t]) is the paper's P_t after candidate restriction.
-	TermPairs [][]int32
-	// PairTermPtr/PairTerms are the transpose of TermPairs in CSR layout:
-	// the terms connected to pair p are PairTerms[PairTermPtr[p]:
-	// PairTermPtr[p+1]], ascending. The transpose turns ITER's term→pair
-	// scatter into a race-free per-pair gather; because terms are visited in
-	// ascending order either way, the gather adds contributions in exactly
-	// the scatter's order and the sweep stays bit-identical to the serial
-	// term-major loop. Built by BuildPairIndex; nil on hand-rolled graphs,
-	// in which case consumers fall back to the serial scatter.
-	PairTermPtr []int32
-	PairTerms   []int32
-}
-
-// BuildPairIndex (re)builds the pair→term CSR transpose of TermPairs. Build
-// and Truncate call it; a caller that assembles a Graph by hand only needs
-// it to opt into the parallel ITER sweep.
-func (g *Graph) BuildPairIndex() {
-	np := g.NumPairs()
-	ptr := make([]int32, np+1)
-	//lint:ignore guardloop output-sized transpose of the already-built adjacency; the guarded stage is the quadratic enumeration in Build, upstream
-	for _, pairIDs := range g.TermPairs {
-		for _, pid := range pairIDs {
-			ptr[pid+1]++
-		}
-	}
-	for p := 0; p < np; p++ {
-		ptr[p+1] += ptr[p]
-	}
-	terms := make([]int32, ptr[np])
-	fill := make([]int32, np)
-	copy(fill, ptr[:np])
-	// Terms are scanned ascending, so each pair's term list comes out
-	// ascending — the property the gather's bit-identity argument needs.
-	for t, pairIDs := range g.TermPairs {
-		for _, pid := range pairIDs {
-			terms[fill[pid]] = int32(t)
-			fill[pid]++
-		}
-	}
-	g.PairTermPtr = ptr
-	g.PairTerms = terms
+	// Workers bounds the goroutines the batch scan fans out across; like
+	// every kernel on the parallel scheduler it changes only wall-clock
+	// time, never the output. Zero selects GOMAXPROCS.
+	Workers int
 }
 
 // Build constructs the candidate set and bipartite graph for the corpus.
@@ -122,92 +73,14 @@ func (g *Graph) BuildPairIndex() {
 // misaligned with the corpus or when opts.Check reports cancellation
 // mid-enumeration; the returned graph is nil in both cases.
 func Build(c *textproc.Corpus, source []int, opts Options) (*Graph, error) {
-	n := c.NumRecords()
-	if opts.CrossSourceOnly && len(source) != n {
-		return nil, fmt.Errorf("blocking: %d records but %d source labels", n, len(source))
-	}
-	// Inverted index: term -> records containing it (ascending, since we
-	// scan records in order).
-	inv := make([][]int32, c.NumTerms())
-	for r, doc := range c.Docs {
-		for _, t := range doc {
-			inv[t] = append(inv[t], int32(r))
-		}
-	}
-	g := &Graph{
-		NumRecords: n,
-		NumTerms:   c.NumTerms(),
-		Index:      make(map[uint64]int32),
-		TermPairs:  make([][]int32, c.NumTerms()),
-	}
-	termEligible := func(recs []int32) bool {
-		if len(recs) < 2 {
-			return false
-		}
-		return opts.MaxTermRecords <= 0 || len(recs) <= opts.MaxTermRecords
-	}
-	// First pass: count shared terms per co-occurring record pair so the
-	// MinSharedTerms floor can be applied before pair IDs are assigned. A
-	// single over-frequent term makes this loop quadratic in the block size,
-	// so cancellation is polled once per outer record position.
-	shared := make(map[uint64]int32)
-	for _, recs := range inv {
-		if !termEligible(recs) {
-			continue
-		}
-		for a := 0; a < len(recs); a++ {
-			if err := opts.Check.Tick(); err != nil {
-				return nil, err
-			}
-			for b := a + 1; b < len(recs); b++ {
-				ri, rj := recs[a], recs[b]
-				if opts.CrossSourceOnly && source[ri] == source[rj] {
-					continue
-				}
-				shared[Key(ri, rj)]++
-			}
-		}
-	}
-	minShared := int32(opts.MinSharedTerms)
-	if minShared < 1 {
-		minShared = 1
-	}
-	// Second pass: materialize surviving pairs and the bipartite adjacency.
-	for t, recs := range inv {
-		if !termEligible(recs) {
-			continue
-		}
-		for a := 0; a < len(recs); a++ {
-			if err := opts.Check.Tick(); err != nil {
-				return nil, err
-			}
-			for b := a + 1; b < len(recs); b++ {
-				ri, rj := recs[a], recs[b]
-				if opts.CrossSourceOnly && source[ri] == source[rj] {
-					continue
-				}
-				key := Key(ri, rj)
-				if shared[key] < minShared {
-					continue
-				}
-				if opts.MinJaccard > 0 {
-					union := len(c.Docs[ri]) + len(c.Docs[rj]) - int(shared[key])
-					if union <= 0 || float64(shared[key])/float64(union) < opts.MinJaccard {
-						continue
-					}
-				}
-				id, ok := g.Index[key]
-				if !ok {
-					id = int32(len(g.Pairs))
-					g.Pairs = append(g.Pairs, Pair{I: ri, J: rj})
-					g.Index[key] = id
-				}
-				g.TermPairs[t] = append(g.TermPairs[t], id)
-			}
-		}
-	}
-	g.BuildPairIndex()
-	return g, nil
+	return index.BuildGraph(c, source, index.BatchOptions{
+		CrossSourceOnly: opts.CrossSourceOnly,
+		MaxTermRecords:  opts.MaxTermRecords,
+		MinJaccard:      opts.MinJaccard,
+		MinSharedTerms:  opts.MinSharedTerms,
+		Check:           opts.Check,
+		Workers:         opts.Workers,
+	})
 }
 
 // Truncate returns a graph restricted to the first maxPairs candidate pairs
@@ -216,53 +89,4 @@ func Build(c *textproc.Corpus, source []int, opts Options) (*Graph, error) {
 // candidate set under budget, the caller drops the tail deterministically.
 // The input graph is not modified; when it is already within budget it is
 // returned unchanged.
-func Truncate(g *Graph, maxPairs int) *Graph {
-	if maxPairs < 0 {
-		maxPairs = 0
-	}
-	if g.NumPairs() <= maxPairs {
-		return g
-	}
-	out := &Graph{
-		NumRecords: g.NumRecords,
-		NumTerms:   g.NumTerms,
-		Pairs:      g.Pairs[:maxPairs:maxPairs],
-		Index:      make(map[uint64]int32, maxPairs),
-		TermPairs:  make([][]int32, g.NumTerms),
-	}
-	for _, p := range out.Pairs {
-		out.Index[Key(p.I, p.J)] = int32(len(out.Index))
-	}
-	//lint:ignore guardloop output-sized copy of the already-built graph; the guarded stage is Build, upstream
-	for t, pairIDs := range g.TermPairs {
-		for _, pid := range pairIDs {
-			if int(pid) < maxPairs {
-				out.TermPairs[t] = append(out.TermPairs[t], pid)
-			}
-		}
-	}
-	out.BuildPairIndex()
-	return out
-}
-
-// NumPairs returns the candidate pair count (edges of G_r).
-func (g *Graph) NumPairs() int { return len(g.Pairs) }
-
-// Pt returns the number of pair nodes connected to term t.
-func (g *Graph) Pt(t int) int { return len(g.TermPairs[t]) }
-
-// PairID returns the pair-node ID for records (i, j) and whether the pair is
-// a candidate.
-func (g *Graph) PairID(i, j int32) (int32, bool) {
-	id, ok := g.Index[Key(i, j)]
-	return id, ok
-}
-
-// BipartiteEdges returns the total number of term→pair edges (Σ_t P_t).
-func (g *Graph) BipartiteEdges() int {
-	n := 0
-	for _, tp := range g.TermPairs {
-		n += len(tp)
-	}
-	return n
-}
+func Truncate(g *Graph, maxPairs int) *Graph { return index.Truncate(g, maxPairs) }

@@ -5,7 +5,7 @@
 package cluster
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/blocking"
 	"repro/internal/graph"
@@ -23,11 +23,14 @@ func FromMatches(numRecords int, pairs []blocking.Pair, matched []bool) [][]int 
 		}
 	}
 	groups := u.Groups(1)
-	sort.SliceStable(groups, func(i, j int) bool {
-		if len(groups[i]) != len(groups[j]) {
-			return len(groups[i]) > len(groups[j])
+	// Typed stable sort: the reflection-based sort.SliceStable swapper is
+	// measurable when 100k records yield ~80k singleton clusters on the
+	// warm resolve path. The comparator's order is unchanged.
+	slices.SortStableFunc(groups, func(a, b []int) int {
+		if len(a) != len(b) {
+			return len(b) - len(a)
 		}
-		return groups[i][0] < groups[j][0]
+		return a[0] - b[0]
 	})
 	return groups
 }

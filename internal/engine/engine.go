@@ -33,6 +33,7 @@ import (
 const (
 	StageTokenize    = "tokenize"
 	StageBlock       = "block"
+	StageMaterialize = "materialize"
 	StagePartition   = "partition"
 	StageITER        = "iter"
 	StageRecordGraph = "recordgraph"
@@ -62,6 +63,12 @@ type StageTrace struct {
 	Rounds int
 	// Iterations sums inner-loop iterations (ITER sweeps) across rounds.
 	Iterations int
+	// ComponentsFused/ComponentsReused and PairsFused/PairsReused record
+	// the delta-scoped resolver's work split for the deltafuse stage —
+	// components (and their candidate pairs) actually fused this run versus
+	// served from the component cache. Zero everywhere else.
+	ComponentsFused, ComponentsReused int
+	PairsFused, PairsReused           int
 	// Events narrates noteworthy stage decisions in order — today the
 	// blocking degradation steps.
 	Events []string
@@ -104,6 +111,10 @@ func (t Trace) String() string {
 		}
 		if st.Iterations > 0 {
 			fmt.Fprintf(&sb, " iterations=%d", st.Iterations)
+		}
+		if st.ComponentsFused > 0 || st.ComponentsReused > 0 {
+			fmt.Fprintf(&sb, "  fused=%d/%dp reused=%d/%dp",
+				st.ComponentsFused, st.PairsFused, st.ComponentsReused, st.PairsReused)
 		}
 		if st.Cached {
 			sb.WriteString("  [cached]")

@@ -117,6 +117,10 @@ func Prepare(r *Run, in PrepareInputs) (*Snapshot, error) {
 func blockWithBudget(r *Run, corpus *textproc.Corpus, in PrepareInputs) (*blocking.Graph, *Degradation, error) {
 	bOpts := in.Blocking
 	bOpts.Check = r.check
+	// The batch scan runs on the run's worker budget; like the fusion
+	// kernels it is bit-identical across worker counts, so the snapshot Key
+	// (which excludes Workers) stays valid.
+	bOpts.Workers = r.workers
 	g, err := blocking.Build(corpus, in.Sources, bOpts)
 	if err != nil {
 		return nil, nil, err

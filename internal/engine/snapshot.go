@@ -74,13 +74,7 @@ func Key(texts []string, sources []int, copts textproc.CorpusOptions, bopts bloc
 // independent of instrumentation.
 func FusionKey(snapshotKey string, o core.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|fuse=%g,%d,%g,%d,%g,%d,%d,%t,%d,%t,%t,%t,%d",
-		snapshotKey,
-		o.Alpha, o.Steps, o.Eta, o.FusionIterations,
-		o.ITERTol, o.ITERMaxIters, int(o.Normalization),
-		o.UseRSS, o.RSSWalks,
-		o.DisableBonus, o.DisableMask, o.DisableDenominator,
-		o.Seed)
+	fmt.Fprintf(h, "%s|%s", snapshotKey, fusionOptsSig(o))
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -88,12 +82,36 @@ func FusionKey(snapshotKey string, o core.Options) string {
 // non-positive requests.
 const DefaultCacheCapacity = 8
 
+// DefaultComponentCapacity bounds the per-component fusion results a cache
+// holds. Components are small (a handful of floats each) and numerous — a
+// 100k-record corpus decomposes into tens of thousands — so the bound is
+// set well above the snapshot capacity.
+const DefaultComponentCapacity = 1 << 16
+
 // CacheStats is a point-in-time view of a cache's effectiveness.
 type CacheStats struct {
 	// Hits and Misses count snapshot lookups since the cache was created.
 	Hits, Misses int64
 	// Entries is the number of snapshots currently held.
 	Entries int
+	// ComponentHits and ComponentMisses count per-component fusion-result
+	// lookups by the delta-scoped resolver; ComponentEntries is the number
+	// of component results currently held.
+	ComponentHits, ComponentMisses int64
+	ComponentEntries               int
+}
+
+// ComponentResult is the memoized fusion outcome of one candidate-graph
+// component: the local pair probabilities (aligned with the component's
+// ascending global-pair order) plus the aggregates the resolver folds into
+// the global result. Stored under a content key over the component's
+// localized structure and the fusion options, so equal keys imply
+// bit-identical results.
+type ComponentResult struct {
+	P              []float64
+	Converged      bool
+	NumericRepairs int
+	Edges          int
 }
 
 // Cache is a bounded, mutex-guarded LRU of snapshots (and, piggybacked on
@@ -109,6 +127,23 @@ type Cache struct {
 	weights  map[string][]float64
 	hits     int64
 	misses   int64
+
+	// Component-result section: an approximate-LRU keyed store for the
+	// delta-scoped resolver. Entries carry a logical use tick; eviction
+	// drops the least recently used eighth when the bound is hit, which
+	// keeps lookups O(1) (a true LRU list would cost a linear touch per
+	// hit at tens of thousands of entries).
+	comps    map[string]*compEntry
+	compCap  int
+	compTick int64
+	compHits int64
+	compMiss int64
+}
+
+// compEntry pairs a component result with its last-use tick.
+type compEntry struct {
+	res  *ComponentResult
+	used int64
 }
 
 // NewCache returns a cache holding at most capacity snapshots (and at
@@ -122,6 +157,61 @@ func NewCache(capacity int) *Cache {
 		capacity: capacity,
 		snaps:    make(map[string]*Snapshot),
 		weights:  make(map[string][]float64),
+		comps:    make(map[string]*compEntry),
+		compCap:  DefaultComponentCapacity,
+	}
+}
+
+// Component returns the memoized fusion result stored under a component
+// content key, counting a hit or a miss. A nil cache always misses without
+// counting. Callers must not mutate the returned result.
+func (c *Cache) Component(key string) (*ComponentResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.comps[key]
+	if !ok {
+		c.compMiss++
+		return nil, false
+	}
+	c.compHits++
+	c.compTick++
+	e.used = c.compTick
+	return e.res, true
+}
+
+// AddComponent memoizes a component fusion result, evicting the least
+// recently used eighth of the section when the bound is hit. Adding to a
+// nil cache is a no-op.
+func (c *Cache) AddComponent(key string, res *ComponentResult) {
+	if c == nil || key == "" || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.comps) >= c.compCap {
+		c.evictComponents()
+	}
+	c.compTick++
+	c.comps[key] = &compEntry{res: res, used: c.compTick}
+}
+
+// evictComponents drops the least recently used eighth of the component
+// section. Callers hold c.mu. Which entries survive affects only future hit
+// rates, never results — component keys are content keys.
+func (c *Cache) evictComponents() {
+	ticks := make([]int64, 0, len(c.comps))
+	for _, e := range c.comps {
+		ticks = append(ticks, e.used)
+	}
+	sort.Slice(ticks, func(a, b int) bool { return ticks[a] < ticks[b] })
+	cut := ticks[len(ticks)/8]
+	for k, e := range c.comps {
+		if e.used <= cut {
+			delete(c.comps, k)
+		}
 	}
 }
 
@@ -211,7 +301,11 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.snaps)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Entries: len(c.snaps),
+		ComponentHits: c.compHits, ComponentMisses: c.compMiss,
+		ComponentEntries: len(c.comps),
+	}
 }
 
 // touch moves key to the most-recently-used end of the order. Callers

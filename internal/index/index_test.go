@@ -1,0 +1,238 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// liveRecord is the test's shadow model of the collection: the plain
+// key->record map the Index must stay equivalent to.
+type liveRecord struct {
+	text   string
+	source int
+}
+
+// batchView builds the oracle Corpus+Graph from the shadow model the way the
+// batch pipeline would: records in ascending external-ID order through
+// textproc.BuildCorpus and the serial reference enumeration.
+func batchView(t *testing.T, model map[string]liveRecord, cfg Config) (*textproc.Corpus, *Graph, []string, []int) {
+	t.Helper()
+	ids := make([]string, 0, len(model))
+	for id := range model {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	texts := make([]string, len(ids))
+	sources := make([]int, len(ids))
+	for i, id := range ids {
+		texts[i] = model[id].text
+		sources[i] = model[id].source
+	}
+	c := textproc.BuildCorpus(texts, cfg.Corpus)
+	g := referenceBuild(c, sources, cfg.Block)
+	return c, g, ids, sources
+}
+
+// requireCorporaEqual compares two corpora field by field with nil/empty
+// slice rows considered equal.
+func requireCorporaEqual(t *testing.T, want, got *textproc.Corpus) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Terms, got.Terms) {
+		t.Fatalf("terms mismatch:\nwant %v\ngot  %v", want.Terms, got.Terms)
+	}
+	if !reflect.DeepEqual(want.DF, got.DF) {
+		t.Fatalf("df mismatch:\nwant %v\ngot  %v", want.DF, got.DF)
+	}
+	if len(want.Docs) != len(got.Docs) {
+		t.Fatalf("docs length mismatch: want %d, got %d", len(want.Docs), len(got.Docs))
+	}
+	for i := range want.Docs {
+		if !reflect.DeepEqual(normInt32(want.Docs[i]), normInt32(got.Docs[i])) {
+			t.Fatalf("docs[%d] mismatch: want %v, got %v", i, want.Docs[i], got.Docs[i])
+		}
+		if !reflect.DeepEqual(normInt32(want.Seqs[i]), normInt32(got.Seqs[i])) {
+			t.Fatalf("seqs[%d] mismatch: want %v, got %v", i, want.Seqs[i], got.Seqs[i])
+		}
+	}
+	if len(want.Index) != len(got.Index) {
+		t.Fatalf("index size mismatch: want %d, got %d", len(want.Index), len(got.Index))
+	}
+	for s, d := range want.Index {
+		if got.Index[s] != d {
+			t.Fatalf("index[%q] mismatch: want %d, got %d", s, d, got.Index[s])
+		}
+	}
+}
+
+// TestIncrementalMatchesBatch drives random upsert/delete/replace sequences
+// against a mutable Index and, after every small batch of mutations, checks
+// that Materialize reproduces the from-scratch batch build bit for bit —
+// corpus and candidate graph. Configurations exercise the MaxDFRatio
+// threshold shifting with the corpus size, the MaxTermRecords cap, the
+// Jaccard floor and cross-source filtering.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	type scenario struct {
+		name string
+		cfg  Config
+	}
+	base := textproc.DefaultTokenizeOptions()
+	scenarios := []scenario{
+		{"plain", Config{
+			Corpus: textproc.CorpusOptions{Tokenize: base},
+			Block:  BatchOptions{MinSharedTerms: 1},
+		}},
+		{"ratio-threshold", Config{
+			Corpus: textproc.CorpusOptions{Tokenize: base, MaxDFRatio: 0.25, MinDF: 1},
+			Block:  BatchOptions{MinSharedTerms: 2, MinJaccard: 0.2},
+		}},
+		{"cross-source-capped", Config{
+			Corpus: textproc.CorpusOptions{Tokenize: base, MaxDFRatio: 0.5},
+			Block:  BatchOptions{CrossSourceOnly: true, MaxTermRecords: 8, MinSharedTerms: 1, MinJaccard: 0.1},
+		}},
+		{"stopworded", Config{
+			Corpus: textproc.CorpusOptions{Tokenize: base, Stopwords: []string{"w1", "w2", "w3"}},
+			Block:  BatchOptions{MinSharedTerms: 1},
+		}},
+	}
+	for si, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + si)))
+			ix := New(sc.cfg)
+			model := make(map[string]liveRecord)
+			vocab := 14 + rng.Intn(20)
+			randomText := func() string {
+				k := 2 + rng.Intn(7)
+				s := ""
+				for i := 0; i < k; i++ {
+					if i > 0 {
+						s += " "
+					}
+					s += fmt.Sprintf("w%d", rng.Intn(vocab))
+				}
+				return s
+			}
+			ops := 0
+			for step := 0; step < 60; step++ {
+				// A small burst of mutations, then a full equivalence check.
+				burst := 1 + rng.Intn(4)
+				for b := 0; b < burst; b++ {
+					ops++
+					switch {
+					case len(model) > 4 && rng.Intn(4) == 0: // delete
+						ids := make([]string, 0, len(model))
+						for id := range model {
+							ids = append(ids, id)
+						}
+						sort.Strings(ids)
+						id := ids[rng.Intn(len(ids))]
+						delete(model, id)
+						if _, ok := ix.Delete(id); !ok {
+							t.Fatalf("step %d: delete %q reported missing", step, id)
+						}
+					case len(model) > 2 && rng.Intn(3) == 0: // replace
+						ids := make([]string, 0, len(model))
+						for id := range model {
+							ids = append(ids, id)
+						}
+						sort.Strings(ids)
+						id := ids[rng.Intn(len(ids))]
+						rec := liveRecord{text: randomText(), source: rng.Intn(2)}
+						model[id] = rec
+						ix.Upsert(id, rec.text, rec.source)
+					default: // insert
+						id := fmt.Sprintf("r%04d", rng.Intn(400))
+						rec := liveRecord{text: randomText(), source: rng.Intn(2)}
+						model[id] = rec
+						ix.Upsert(id, rec.text, rec.source)
+					}
+				}
+				if ix.Len() != len(model) {
+					t.Fatalf("step %d: live count %d, model has %d", step, ix.Len(), len(model))
+				}
+				v := ix.Materialize()
+				wantC, wantG, wantIDs, wantSrc := batchView(t, model, sc.cfg)
+				if !reflect.DeepEqual(wantIDs, v.IDs) {
+					t.Fatalf("step %d: id order mismatch:\nwant %v\ngot  %v", step, wantIDs, v.IDs)
+				}
+				if !reflect.DeepEqual(wantSrc, v.Sources) {
+					t.Fatalf("step %d: sources mismatch", step)
+				}
+				requireCorporaEqual(t, wantC, v.Corpus)
+				requireGraphsEqual(t, wantG, v.Graph)
+			}
+			if ops < 60 {
+				t.Fatalf("scenario exercised only %d mutations", ops)
+			}
+		})
+	}
+}
+
+// TestIndexDeltaReportsPairs pins the Delta bookkeeping on a hand-built
+// example: two records that come to share two terms become a candidate pair,
+// and deleting one endpoint removes it.
+func TestIndexDeltaReportsPairs(t *testing.T) {
+	cfg := Config{
+		Corpus: textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()},
+		Block:  BatchOptions{MinSharedTerms: 2},
+	}
+	ix := New(cfg)
+	ix.Upsert("a", "alpha beta gamma", 0)
+	d := ix.Upsert("b", "alpha beta delta", 1)
+	if len(d.AddedPairs) != 1 || d.AddedPairs[0] != [2]string{"a", "b"} {
+		t.Fatalf("expected pair {a b} added, got %+v", d)
+	}
+	d = ix.Upsert("b", "epsilon zeta", 1)
+	if len(d.RemovedPairs) != 1 || d.RemovedPairs[0] != [2]string{"a", "b"} {
+		t.Fatalf("expected pair {a b} removed on replace, got %+v", d)
+	}
+	d = ix.Upsert("b", "alpha beta", 1)
+	if len(d.AddedPairs) != 1 {
+		t.Fatalf("expected pair re-added, got %+v", d)
+	}
+	d, ok := ix.Delete("a")
+	if !ok || len(d.RemovedPairs) != 1 || d.RemovedPairs[0] != [2]string{"a", "b"} {
+		t.Fatalf("expected delete to remove pair {a b}, got %+v ok=%v", d, ok)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("expected 1 live record, got %d", ix.Len())
+	}
+	// The survivor table must now be empty.
+	v := ix.Materialize()
+	if v.Graph.NumPairs() != 0 {
+		t.Fatalf("expected empty candidate set, got %d pairs", v.Graph.NumPairs())
+	}
+}
+
+// TestIndexTouchedPositions checks that Materialize reports and then drains
+// the touched-record positions.
+func TestIndexTouchedPositions(t *testing.T) {
+	cfg := Config{
+		Corpus: textproc.CorpusOptions{Tokenize: textproc.DefaultTokenizeOptions()},
+		Block:  BatchOptions{MinSharedTerms: 1},
+	}
+	ix := New(cfg)
+	ix.Upsert("a", "alpha beta", 0)
+	ix.Upsert("b", "alpha beta", 0)
+	ix.Upsert("c", "omega psi", 0)
+	v := ix.Materialize()
+	if len(v.Touched) != 3 {
+		t.Fatalf("initial build should touch all records, got %v", v.Touched)
+	}
+	// No mutations: nothing touched.
+	v = ix.Materialize()
+	if len(v.Touched) != 0 {
+		t.Fatalf("expected no touched records, got %v", v.Touched)
+	}
+	// Mutating c touches only c (it shares no terms with a/b).
+	ix.Upsert("c", "omega chi", 0)
+	v = ix.Materialize()
+	if len(v.Touched) != 1 || v.IDs[v.Touched[0]] != "c" {
+		t.Fatalf("expected only c touched, got %v", v.Touched)
+	}
+}

@@ -35,6 +35,10 @@ var determinismCallPackages = map[string]bool{
 	// — the property every determinism test upstream builds on — so all
 	// their randomness must flow from the seeded noiser RNG.
 	"repro/internal/dataset": true,
+	// The incremental index promises batch/streaming equivalence: the same
+	// record set must yield bit-identical candidate graphs regardless of
+	// mutation history, so no ambient state may leak into its decisions.
+	"repro/internal/index": true,
 }
 
 // determinismMapPackages additionally ban order-sensitive accumulation over
@@ -65,6 +69,11 @@ var determinismMapPackages = map[string]bool{
 	// downstream score vectors; map iteration must not order anything the
 	// generators or accessors emit.
 	"repro/internal/dataset": true,
+	// The index materializes views whose pair enumeration and position
+	// assignment feed position-aligned vectors downstream, and its deltas
+	// are asserted bit-identical to batch builds; map iteration must not
+	// order anything it emits.
+	"repro/internal/index": true,
 }
 
 // Determinism returns the analyzer enforcing seeded, injected-ambient

@@ -23,6 +23,10 @@ var guardLoopPackages = map[string]bool{
 	// WAL replay walks every frame of every segment; recovery of a large
 	// journal must stay cancellable through the same checkpoint contract.
 	"repro/internal/wal": true,
+	// The index's batch build and pair rebuilds enumerate term posting
+	// lists — the same quadratic-prone shape as blocking — and must stay
+	// cancellable at 100k-record scale.
+	"repro/internal/index": true,
 }
 
 // GuardLoop returns the analyzer enforcing the PR-1 cancellation contract:
@@ -35,7 +39,7 @@ var guardLoopPackages = map[string]bool{
 func GuardLoop() *Analyzer {
 	return &Analyzer{
 		Name:    "guardloop",
-		Scope:   "internal/{core,blocking,baselines,engine,wal}",
+		Scope:   "internal/{core,blocking,baselines,engine,wal,index}",
 		Doc:     "nested loops in hot-path packages must poll a guard.Checkpoint",
 		Applies: func(pkgPath string) bool { return guardLoopPackages[pkgPath] },
 		Run:     runGuardLoop,

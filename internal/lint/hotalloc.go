@@ -11,6 +11,10 @@ var hotAllocPackages = map[string]bool{
 	"repro/internal/core":     true,
 	"repro/internal/matrix":   true,
 	"repro/internal/parallel": true,
+	// The index's batch shards and delta paths sit on the blocking
+	// benchmark's critical path; annotated hot functions there follow the
+	// same arena discipline.
+	"repro/internal/index": true,
 }
 
 // HotAlloc enforces the arena discipline on functions annotated
@@ -23,7 +27,7 @@ func HotAlloc() *Analyzer {
 	return &Analyzer{
 		Name:    "hotalloc",
 		Doc:     "//lint:hotpath functions must not allocate in loops (composite literal, make, new, append, map write, closure)",
-		Scope:   "internal/{core,matrix,parallel}",
+		Scope:   "internal/{core,matrix,parallel,index}",
 		Applies: func(pkgPath string) bool { return hotAllocPackages[pkgPath] },
 		Run:     hotAllocRun,
 	}

@@ -16,6 +16,10 @@ var lockHoldPackages = map[string]bool{
 	// path; a sleep or network call under that lock would serialize every
 	// concurrent request's backoff.
 	"repro/internal/client": true,
+	// The index itself is single-writer, but scoping it keeps any future
+	// internal locking honest — a blocking call under an index lock would
+	// stall every collection resolve behind it.
+	"repro/internal/index": true,
 }
 
 // LockHold reports blocking operations performed while a sync.Mutex or
@@ -32,7 +36,7 @@ func LockHold() *Analyzer {
 	return &Analyzer{
 		Name:      "lockhold",
 		Doc:       "no blocking operation (fsync, durability wait, channel op, network I/O, sleep) while a mutex is held",
-		Scope:     "internal/{serve,wal,engine,client}",
+		Scope:     "internal/{serve,wal,engine,client,index}",
 		Applies:   func(pkgPath string) bool { return lockHoldPackages[pkgPath] },
 		RunModule: lockHoldModule,
 	}

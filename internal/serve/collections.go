@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -105,6 +106,14 @@ type colStore struct {
 	dedupOrder []string
 	dedupCap   int
 
+	// version counts each collection's mutations in journal order (create,
+	// drop, upsert, delete all bump it; the counter survives drops so it is
+	// monotonic per name), and logs holds the capped per-collection delta
+	// logs the incremental resolvers catch up from. Both are derived state:
+	// never journaled, rebuilt by replay.
+	version map[string]uint64
+	logs    map[string]*colLog
+
 	replays   atomic.Int64 // keyed requests answered from the dedup table
 	conflicts atomic.Int64 // key reuse with a different request body
 	evictions atomic.Int64 // keys evicted from the table
@@ -115,6 +124,8 @@ func newColStore(dedupCap int) *colStore {
 		cols:     make(map[string]map[string]colRecord),
 		dedup:    make(map[string]*dedupEntry),
 		dedupCap: dedupCap,
+		version:  make(map[string]uint64),
+		logs:     make(map[string]*colLog),
 	}
 }
 
@@ -195,6 +206,7 @@ func (c *colStore) applyLocked(typ byte, m mutation) {
 			c.forgetLocked(k)
 		}
 	}
+	c.bumpLocked(typ, m)
 }
 
 // apply replays one journaled mutation during recovery. Keyed records
@@ -275,6 +287,14 @@ func (c *colStore) restoreJSON(data []byte) error {
 	c.cols = st.Collections
 	c.dedup = dedup
 	c.dedupOrder = order
+	// Restored collections start a fresh version lineage with no delta log:
+	// the first resolve of each rebuilds its mirror from the record set.
+	c.version = make(map[string]uint64, len(st.Collections))
+	c.logs = make(map[string]*colLog, len(st.Collections))
+	for name := range st.Collections {
+		c.version[name] = 1
+		c.logs[name] = &colLog{start: 2}
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -663,10 +683,15 @@ func (s *Server) handleRecordDelete(w http.ResponseWriter, r *http.Request) {
 		http.StatusOK, map[string]string{"deleted": id})
 }
 
-// handleCollectionResolve is POST /collections/{name}/resolve: snapshot
-// the collection into a dataset and run it through the standard admission
-// → queue → worker path. The whole corpus is re-resolved every time; the
-// optional JSON body carries the same pipeline overrides as /resolve.
+// handleCollectionResolve is POST /collections/{name}/resolve, through the
+// standard admission → queue → worker path. Without option overrides the
+// job runs delta-scoped: the collection's incremental mirror is synced from
+// the delta log and only the candidate-graph components touched since the
+// last resolve are re-fused (per-component fusion semantics — see
+// er.Collection; the response carries the work split in "delta" and on the
+// "deltafuse" stage). A request with option overrides — or a server with an
+// injected Runner — falls back to snapshotting the collection into a
+// dataset and re-resolving the full corpus under those options.
 func (s *Server) handleCollectionResolve(w http.ResponseWriter, r *http.Request) {
 	if herr := s.collectionsReady(); herr != nil {
 		writeError(w, herr.status, herr.kind, herr.message)
@@ -700,5 +725,11 @@ func (s *Server) handleCollectionResolve(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, "invalid_options", err.Error())
 		return
 	}
-	s.runResolve(w, r, d, class, opts)
+	var run func(ctx context.Context) (*er.Result, error)
+	if jo == nil && !s.opts.runnerInjected {
+		run = func(ctx context.Context) (*er.Result, error) {
+			return s.resolveCollectionDelta(ctx, name)
+		}
+	}
+	s.runResolve(w, r, d, class, opts, run)
 }

@@ -135,15 +135,31 @@ type metricsJSON struct {
 	FN        int     `json:"fn"`
 }
 
-// stageJSON is the wire form of one StageTrace entry.
+// stageJSON is the wire form of one StageTrace entry. The *_fused/_reused
+// fields appear only on the "deltafuse" stage of delta-scoped collection
+// resolves: the work split between components actually re-fused and
+// components served from the component cache.
 type stageJSON struct {
-	Stage      string  `json:"stage"`
-	Cached     bool    `json:"cached,omitempty"`
-	WallMs     float64 `json:"wall_ms"`
-	In         int     `json:"in,omitempty"`
-	Out        int     `json:"out,omitempty"`
-	Rounds     int     `json:"rounds,omitempty"`
-	Iterations int     `json:"iterations,omitempty"`
+	Stage            string  `json:"stage"`
+	Cached           bool    `json:"cached,omitempty"`
+	WallMs           float64 `json:"wall_ms"`
+	In               int     `json:"in,omitempty"`
+	Out              int     `json:"out,omitempty"`
+	Rounds           int     `json:"rounds,omitempty"`
+	Iterations       int     `json:"iterations,omitempty"`
+	ComponentsFused  int     `json:"components_fused,omitempty"`
+	ComponentsReused int     `json:"components_reused,omitempty"`
+	PairsFused       int     `json:"pairs_fused,omitempty"`
+	PairsReused      int     `json:"pairs_reused,omitempty"`
+}
+
+// deltaJSON is the wire form of er.DeltaStats on a delta-scoped resolve.
+type deltaJSON struct {
+	Components       int `json:"components"`
+	ComponentsFused  int `json:"components_fused"`
+	ComponentsReused int `json:"components_reused"`
+	PairsFused       int `json:"pairs_fused"`
+	PairsReused      int `json:"pairs_reused"`
 }
 
 // jobResponse is the wire form of a job's terminal (or inspected) state.
@@ -161,6 +177,7 @@ type jobResponse struct {
 	Repairs     int          `json:"numeric_repairs,omitempty"`
 	Degraded    bool         `json:"degraded,omitempty"`
 	Evaluation  *metricsJSON `json:"evaluation,omitempty"`
+	Delta       *deltaJSON   `json:"delta,omitempty"`
 	Stages      []stageJSON  `json:"stages,omitempty"`
 	Pairs       []matchJSON  `json:"pairs,omitempty"`
 	Error       string       `json:"error,omitempty"`
@@ -241,13 +258,15 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, perr.status, perr.kind, perr.message)
 		return
 	}
-	s.runResolve(w, r, d, class, opts)
+	s.runResolve(w, r, d, class, opts, nil)
 }
 
 // runResolve pushes a parsed dataset through admission (breaker →
 // draining → queue), waits for the job's terminal state and writes the
-// response. Shared by /resolve and /collections/{name}/resolve.
-func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Dataset, class string, opts er.Options) {
+// response. Shared by /resolve and /collections/{name}/resolve; a non-nil
+// run replaces the configured Runner for this job (the delta-scoped
+// collection path), with d supplying only the response metadata.
+func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Dataset, class string, opts er.Options, run func(ctx context.Context) (*er.Result, error)) {
 	ok, probe, retryAfter := s.breaker.allow(class)
 	if !ok {
 		s.c.tripped.Add(1)
@@ -257,7 +276,7 @@ func (s *Server) runResolve(w http.ResponseWriter, r *http.Request, d *er.Datase
 		return
 	}
 
-	j, release, herr := s.submit(r.Context(), class, d, opts, probe)
+	j, release, herr := s.submit(r.Context(), class, d, opts, probe, run)
 	if herr != nil {
 		if probe {
 			// The probe never ran; free the half-open slot.
@@ -311,15 +330,28 @@ func fillResult(resp *jobResponse, res *er.Result, includePairs bool) {
 			FN:        res.Evaluation.FN,
 		}
 	}
+	if res.Delta != nil {
+		resp.Delta = &deltaJSON{
+			Components:       res.Delta.Components,
+			ComponentsFused:  res.Delta.ComponentsFused,
+			ComponentsReused: res.Delta.ComponentsReused,
+			PairsFused:       res.Delta.PairsFused,
+			PairsReused:      res.Delta.PairsReused,
+		}
+	}
 	for _, st := range res.Trace {
 		resp.Stages = append(resp.Stages, stageJSON{
-			Stage:      st.Stage,
-			Cached:     st.Cached,
-			WallMs:     float64(st.Wall) / float64(time.Millisecond),
-			In:         st.In,
-			Out:        st.Out,
-			Rounds:     st.Rounds,
-			Iterations: st.Iterations,
+			Stage:            st.Stage,
+			Cached:           st.Cached,
+			WallMs:           float64(st.Wall) / float64(time.Millisecond),
+			In:               st.In,
+			Out:              st.Out,
+			Rounds:           st.Rounds,
+			Iterations:       st.Iterations,
+			ComponentsFused:  st.ComponentsFused,
+			ComponentsReused: st.ComponentsReused,
+			PairsFused:       st.PairsFused,
+			PairsReused:      st.PairsReused,
 		})
 	}
 	if includePairs {

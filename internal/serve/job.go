@@ -33,6 +33,10 @@ type job struct {
 	dataset *er.Dataset
 	opts    er.Options
 	probe   bool // admitted as a half-open breaker probe
+	// run, when non-nil, replaces the configured Runner for this job (the
+	// delta-scoped collection resolve path); dataset and opts then serve
+	// only the response metadata.
+	run func(ctx context.Context) (*er.Result, error)
 
 	// ctx carries the job deadline and every cancellation source (client
 	// gone, drain kill); cancel releases it with an explicit cause, and

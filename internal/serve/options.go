@@ -147,6 +147,13 @@ type Options struct {
 	// Logf receives one line per lifecycle event (admission, completion,
 	// trip, drain). Nil discards logs.
 	Logf func(format string, args ...any)
+
+	// runnerInjected records that a custom Runner was configured (set by
+	// withDefaults). The delta-scoped collection resolve path bypasses the
+	// Runner, so it is disabled when one was injected — the fault suites
+	// substitute Runner to drive the job isolation boundary and must see
+	// every job.
+	runnerInjected bool
 }
 
 // Validate reports the first configuration error, or nil, wrapping
@@ -218,6 +225,8 @@ func (o Options) withDefaults() Options {
 	o.Clock = clock.OrSystem(o.Clock)
 	if o.Runner == nil {
 		o.Runner = er.ResolveContext
+	} else {
+		o.runnerInjected = true
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}

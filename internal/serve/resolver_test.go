@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// resolveCollectionDelta posts an override-free resolve, which routes
+// through the delta-scoped path.
+func resolveCollectionDeltaJSON(t *testing.T, base, name string) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(base+"/collections/"+name+"/resolve", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST resolve: %v", err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode resolve response: %v", err)
+	}
+	return resp.StatusCode, jr
+}
+
+// TestCollectionDeltaResolve drives the delta-scoped resolve path: the
+// first resolve rebuilds the mirror and fuses everything, a resolve after
+// one record mutation re-fuses only the touched components, and the
+// response and /stats expose the work split.
+func TestCollectionDeltaResolve(t *testing.T) {
+	_, hs := newTestServer(t, Options{BreakerThreshold: -1})
+	n := seedCollection(t, hs.URL, "shops")
+
+	status, jr := resolveCollectionDeltaJSON(t, hs.URL, "shops")
+	if status != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("resolve = %d/%s (%s), want 200/completed", status, jr.State, jr.Error)
+	}
+	if jr.Records != n {
+		t.Fatalf("resolved %d records, want %d", jr.Records, n)
+	}
+	if jr.Delta == nil {
+		t.Fatal("delta-scoped resolve did not report delta stats")
+	}
+	if jr.Delta.Components == 0 || jr.Delta.ComponentsFused == 0 {
+		t.Fatalf("cold resolve should fuse components: %+v", *jr.Delta)
+	}
+	var deltafuse *stageJSON
+	for i := range jr.Stages {
+		if jr.Stages[i].Stage == "deltafuse" {
+			deltafuse = &jr.Stages[i]
+		}
+	}
+	if deltafuse == nil {
+		t.Fatalf("no deltafuse stage in trace: %+v", jr.Stages)
+	}
+	if deltafuse.ComponentsFused != jr.Delta.ComponentsFused {
+		t.Fatalf("stage/delta split mismatch: %+v vs %+v", *deltafuse, *jr.Delta)
+	}
+
+	// An unmutated second resolve reuses every component.
+	status, jr2 := resolveCollectionDeltaJSON(t, hs.URL, "shops")
+	if status != http.StatusOK || jr2.Delta == nil {
+		t.Fatalf("second resolve = %d, delta %v", status, jr2.Delta)
+	}
+	if jr2.Delta.ComponentsFused != 0 || jr2.Delta.ComponentsReused != jr2.Delta.Components {
+		t.Fatalf("no-op resolve should reuse everything: %+v", *jr2.Delta)
+	}
+	if len(jr2.Pairs) != len(jr.Pairs) || jr2.Matches != jr.Matches {
+		t.Fatalf("no-op resolve changed results: %d/%d matches", jr2.Matches, jr.Matches)
+	}
+
+	// Mutate one record; only its component re-fuses.
+	url := fmt.Sprintf("%s/collections/shops/records/r05", hs.URL)
+	if status, body := doJSON(t, http.MethodPut, url,
+		`{"entity":"e4","source":1,"text":"mission chinese food 2234 mission street sf"}`); status != http.StatusOK {
+		t.Fatalf("upsert = %d (%v), want 200", status, body)
+	}
+	status, jr3 := resolveCollectionDeltaJSON(t, hs.URL, "shops")
+	if status != http.StatusOK || jr3.Delta == nil {
+		t.Fatalf("post-mutation resolve = %d, delta %v", status, jr3.Delta)
+	}
+	if jr3.Delta.ComponentsReused == 0 {
+		t.Fatalf("post-mutation resolve should reuse untouched components: %+v", *jr3.Delta)
+	}
+
+	st := getStats(t, hs.URL)
+	if st.Collections.DeltaResolves != 3 {
+		t.Fatalf("stats delta_resolves = %d, want 3", st.Collections.DeltaResolves)
+	}
+	if st.Collections.ResolverRebuilds != 1 {
+		t.Fatalf("stats resolver_rebuilds = %d, want 1 (first resolve only)", st.Collections.ResolverRebuilds)
+	}
+	if st.SnapshotCache.ComponentMisses == 0 || st.SnapshotCache.ComponentEntries == 0 {
+		t.Fatalf("component cache stats not populated: %+v", st.SnapshotCache)
+	}
+
+	// A resolve with overrides still takes the batch path — no delta stats.
+	status, jr4 := resolveCollection(t, hs.URL, "shops")
+	if status != http.StatusOK || jr4.State != JobCompleted {
+		t.Fatalf("override resolve = %d/%s (%s)", status, jr4.State, jr4.Error)
+	}
+	if jr4.Delta != nil {
+		t.Fatalf("override resolve must use the batch path, got delta %+v", *jr4.Delta)
+	}
+}
+
+// TestCollectionDeltaResolveDropRecreate pins mirror invalidation: dropping
+// and recreating a collection under the same name must not leak the old
+// incarnation's state into resolves of the new one.
+func TestCollectionDeltaResolveDropRecreate(t *testing.T) {
+	_, hs := newTestServer(t, Options{BreakerThreshold: -1})
+	seedCollection(t, hs.URL, "shops")
+	if status, jr := resolveCollectionDeltaJSON(t, hs.URL, "shops"); status != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("resolve = %d/%s (%s)", status, jr.State, jr.Error)
+	}
+
+	if status, _ := doJSON(t, http.MethodDelete, hs.URL+"/collections/shops", ""); status != http.StatusOK {
+		t.Fatalf("drop = %d, want 200", status)
+	}
+	if status, _ := doJSON(t, http.MethodPost, hs.URL+"/collections", `{"name":"shops"}`); status != http.StatusCreated {
+		t.Fatalf("recreate = %d, want 201", status)
+	}
+	if status, _ := doJSON(t, http.MethodPut, hs.URL+"/collections/shops/records/solo",
+		`{"text":"one lonely record"}`); status != http.StatusOK {
+		t.Fatalf("upsert = %d, want 200", status)
+	}
+	status, jr := resolveCollectionDeltaJSON(t, hs.URL, "shops")
+	if status != http.StatusOK || jr.State != JobCompleted {
+		t.Fatalf("resolve after recreate = %d/%s (%s)", status, jr.State, jr.Error)
+	}
+	if jr.Records != 1 || jr.Matches != 0 {
+		t.Fatalf("recreated collection resolved %d records / %d matches, want 1/0", jr.Records, jr.Matches)
+	}
+}

@@ -56,6 +56,13 @@ type Server struct {
 	// dataset (nil when Options.SnapshotCache is negative).
 	snapshots *er.SnapshotCache
 
+	// resolvers holds the per-collection incremental mirrors the
+	// delta-scoped resolve path syncs lazily (see resolver.go).
+	resolvers struct {
+		sync.Mutex
+		m map[string]*colResolver
+	}
+
 	c        counters
 	queueLat *latencyRing
 	runLat   *latencyRing
@@ -91,6 +98,7 @@ func New(opts Options) (*Server, error) {
 		totalLat:    newLatencyRing(o.LatencyWindow),
 		stages:      newStageTotals(),
 	}
+	s.resolvers.m = make(map[string]*colResolver)
 	if o.SnapshotCache > 0 {
 		s.snapshots = er.NewSnapshotCache(o.SnapshotCache)
 	}
@@ -119,7 +127,7 @@ type httpError struct {
 // drain observed idle self-rejects here), build the isolated job context,
 // and fast-fail with 429 when the queue is full. On success the returned
 // job is queued and its release function transferred to the caller.
-func (s *Server) submit(reqCtx context.Context, class string, d *er.Dataset, opts er.Options, probe bool) (*job, func(), *httpError) {
+func (s *Server) submit(reqCtx context.Context, class string, d *er.Dataset, opts er.Options, probe bool, run func(ctx context.Context) (*er.Result, error)) (*job, func(), *httpError) {
 	release := s.inflight.Acquire()
 	if s.draining.Load() {
 		release()
@@ -148,6 +156,7 @@ func (s *Server) submit(reqCtx context.Context, class string, d *er.Dataset, opt
 		dataset:    d,
 		opts:       opts,
 		probe:      probe,
+		run:        run,
 		ctx:        dctx,
 		cancel:     cancel,
 		enqueuedAt: s.opts.Clock(),
@@ -261,7 +270,11 @@ func (s *Server) runJob(j *job) {
 				res, err = nil, fmt.Errorf("%w: recovered job panic: %v", er.ErrInternal, r)
 			}
 		}()
-		res, err = s.opts.Runner(j.ctx, j.dataset, j.opts)
+		if j.run != nil {
+			res, err = j.run(j.ctx)
+		} else {
+			res, err = s.opts.Runner(j.ctx, j.dataset, j.opts)
+		}
 	}()
 	s.c.running.Add(-1)
 	end := s.opts.Clock()
@@ -398,8 +411,13 @@ func (s *Server) Stats() Stats {
 		Breakers:       s.breaker.snapshot(),
 		Stages:         s.stages.snapshot(),
 		SnapshotCache:  snapshotCacheStats(s.snapshots),
-		Collections:    CollectionsStats{Collections: colCount, Records: recCount},
-		Idempotency:    s.cols.idempotencyStats(),
-		Durability:     s.durabilityStats(),
+		Collections: CollectionsStats{
+			Collections:      colCount,
+			Records:          recCount,
+			DeltaResolves:    s.c.deltaResolves.Load(),
+			ResolverRebuilds: s.c.resolverRebuilds.Load(),
+		},
+		Idempotency: s.cols.idempotencyStats(),
+		Durability:  s.durabilityStats(),
 	}
 }

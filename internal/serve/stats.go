@@ -24,6 +24,9 @@ type counters struct {
 	unavailable atomic.Int64 // fast-failed 503 during drain
 	panics      atomic.Int64 // panics converted to errors by the job boundary
 	running     atomic.Int64 // gauge: jobs executing right now
+
+	deltaResolves    atomic.Int64 // collection resolves served by the delta path
+	resolverRebuilds atomic.Int64 // delta resolves that rebuilt their mirror
 }
 
 // latencyRing keeps the most recent window of duration samples for one
@@ -157,12 +160,17 @@ func (t *stageTotals) snapshot() []StageStats {
 	return out
 }
 
-// SnapshotCacheStats is the /stats view of the shared snapshot cache.
+// SnapshotCacheStats is the /stats view of the shared snapshot cache:
+// whole-dataset pre-matching snapshots plus the per-component fusion
+// results the delta-scoped collection resolver memoizes.
 type SnapshotCacheStats struct {
-	Enabled bool  `json:"enabled"`
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Enabled          bool  `json:"enabled"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	Entries          int   `json:"entries"`
+	ComponentHits    int64 `json:"component_hits,omitempty"`
+	ComponentMisses  int64 `json:"component_misses,omitempty"`
+	ComponentEntries int   `json:"component_entries,omitempty"`
 }
 
 func snapshotCacheStats(c *er.SnapshotCache) SnapshotCacheStats {
@@ -170,13 +178,23 @@ func snapshotCacheStats(c *er.SnapshotCache) SnapshotCacheStats {
 		return SnapshotCacheStats{}
 	}
 	st := c.Stats()
-	return SnapshotCacheStats{Enabled: true, Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	return SnapshotCacheStats{
+		Enabled: true, Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
+		ComponentHits:    st.ComponentHits,
+		ComponentMisses:  st.ComponentMisses,
+		ComponentEntries: st.ComponentEntries,
+	}
 }
 
-// CollectionsStats is the /stats view of the durable-collections store.
+// CollectionsStats is the /stats view of the durable-collections store and
+// its incremental resolve path: DeltaResolves counts collection resolves
+// served delta-scoped, ResolverRebuilds the subset that had to rebuild
+// their mirror from scratch (first use, restart, or a delta-log overflow).
 type CollectionsStats struct {
-	Collections int `json:"collections"`
-	Records     int `json:"records"`
+	Collections      int   `json:"collections"`
+	Records          int   `json:"records"`
+	DeltaResolves    int64 `json:"delta_resolves"`
+	ResolverRebuilds int64 `json:"resolver_rebuilds"`
 }
 
 // IdempotencyStats is the /stats view of the exactly-once dedup table.

@@ -54,6 +54,12 @@ type Options struct {
 	// see blocking.Options for why the default dissolves fake cliques of
 	// single-shared-term pairs.
 	MinSharedTerms int
+	// CrossSourceOnly restricts candidate pairs to records from different
+	// sources. Resolve derives this from the dataset (multi-source implies
+	// true) and ignores the field; Collection — whose source mix changes as
+	// records stream in — uses it as configured at creation, because the
+	// incremental pair table bakes the rule in.
+	CrossSourceOnly bool
 
 	// UseRSS swaps CliqueRank for the sampling-based RSS estimator.
 	UseRSS bool

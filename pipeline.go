@@ -592,6 +592,14 @@ type Result struct {
 	Trace Trace
 	// Elapsed is the fusion wall-clock time.
 	Elapsed time.Duration
+	// IDs maps record positions to external record IDs for results produced
+	// by Collection.Resolve (ascending external-ID order); nil for the batch
+	// Resolve, whose positions are the dataset's record indexes.
+	IDs []string
+	// Delta reports the delta-scoped resolver's work split — components and
+	// pairs re-fused versus served from the component cache — for results
+	// produced by Collection.Resolve; nil for the batch Resolve.
+	Delta *DeltaStats
 }
 
 // Resolve runs the full unsupervised pipeline on a dataset: tokenize, block,

@@ -165,6 +165,36 @@ if [ "$(strip "$before")" != "$(strip "$after")" ]; then
     exit 1
 fi
 
+echo "==> erserve smoke: mutation-trace replay (delta-scoped resolve)"
+# ergen writes a deterministic upsert/delete trace; erctl replay drives it
+# through the retrying client. Resolves carry no option overrides, so they
+# take the incremental path: the replay output must report the delta work
+# split, and the second resolve of the trace must reuse prior components.
+go build -o "$workdir/ergen" ./cmd/ergen
+"$workdir/ergen" -records 60 -mutations 20 -resolve-every 10 \
+    -name replaytrace -out "$workdir" >/dev/null
+curl -sf -X POST "$base/collections" -H 'Content-Type: application/json' \
+    -d '{"name":"replay"}' >/dev/null
+replay_out=$(erctl replay replay "$workdir/replaytrace.mutations.jsonl")
+echo "$replay_out"
+if ! echo "$replay_out" | grep -q 'components re-fused'; then
+    echo "replay resolves never took the delta-scoped path: $replay_out" >&2
+    exit 1
+fi
+# The trace ends with back-to-back resolves; the last one mutated nothing,
+# so it must re-fuse zero components.
+if ! echo "$replay_out" | tail -n 2 | head -n 1 | grep -q 'delta 0/'; then
+    echo "no-op resolve re-fused components: $replay_out" >&2
+    exit 1
+fi
+stats=$(curl -sf "$base/stats")
+for needle in '"delta_resolves": 3' '"resolver_rebuilds": 1'; do
+    if ! echo "$stats" | grep -q "$needle"; then
+        echo "stats missing $needle after replay: $stats" >&2
+        exit 1
+    fi
+done
+
 echo "==> erserve smoke: SIGTERM drain (durable)"
 kill -TERM "$pid"
 wait "$pid"

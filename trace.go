@@ -30,6 +30,12 @@ type StageTrace struct {
 	Rounds int
 	// Iterations sums inner ITER iterations across rounds.
 	Iterations int
+	// ComponentsFused/ComponentsReused and PairsFused/PairsReused record
+	// the delta-scoped resolver's work split for the "deltafuse" stage —
+	// components (and their candidate pairs) actually fused this run versus
+	// served from the component cache. Zero everywhere else.
+	ComponentsFused, ComponentsReused int
+	PairsFused, PairsReused           int
 	// Events narrates noteworthy stage decisions in order (the blocking
 	// degradation steps).
 	Events []string
@@ -72,6 +78,10 @@ func (t Trace) String() string {
 		if st.Iterations > 0 {
 			fmt.Fprintf(&sb, " iterations=%d", st.Iterations)
 		}
+		if st.ComponentsFused > 0 || st.ComponentsReused > 0 {
+			fmt.Fprintf(&sb, "  fused=%d/%dp reused=%d/%dp",
+				st.ComponentsFused, st.PairsFused, st.ComponentsReused, st.PairsReused)
+		}
 		if st.Cached {
 			sb.WriteString("  [cached]")
 		}
@@ -91,16 +101,20 @@ func fromEngineTrace(et engine.Trace) Trace {
 	out := make(Trace, len(et))
 	for i, st := range et {
 		out[i] = StageTrace{
-			Stage:      st.Stage,
-			Cached:     st.Cached,
-			Wall:       st.Wall,
-			In:         st.In,
-			Out:        st.Out,
-			InUnit:     st.InUnit,
-			OutUnit:    st.OutUnit,
-			Rounds:     st.Rounds,
-			Iterations: st.Iterations,
-			Events:     st.Events,
+			Stage:            st.Stage,
+			Cached:           st.Cached,
+			Wall:             st.Wall,
+			In:               st.In,
+			Out:              st.Out,
+			InUnit:           st.InUnit,
+			OutUnit:          st.OutUnit,
+			Rounds:           st.Rounds,
+			Iterations:       st.Iterations,
+			ComponentsFused:  st.ComponentsFused,
+			ComponentsReused: st.ComponentsReused,
+			PairsFused:       st.PairsFused,
+			PairsReused:      st.PairsReused,
+			Events:           st.Events,
 		}
 	}
 	return out
@@ -129,6 +143,11 @@ type CacheStats struct {
 	Hits, Misses int64
 	// Entries is the number of snapshots currently held.
 	Entries int
+	// ComponentHits and ComponentMisses count per-component fusion-result
+	// lookups by the delta-scoped resolver (Collection.Resolve);
+	// ComponentEntries is the number of component results currently held.
+	ComponentHits, ComponentMisses int64
+	ComponentEntries               int
 }
 
 // Stats returns the cache's hit/miss counters and current size. A nil
@@ -138,7 +157,12 @@ func (s *SnapshotCache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	st := s.c.Stats()
-	return CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
+		ComponentHits:    st.ComponentHits,
+		ComponentMisses:  st.ComponentMisses,
+		ComponentEntries: st.ComponentEntries,
+	}
 }
 
 // engineCache unwraps the internal cache; nil-safe (nil disables reuse).
